@@ -1,0 +1,272 @@
+//! A from-scratch gradient-boosted regression-tree ensemble — the
+//! XGBoost substitute powering the OSquare baseline.
+//!
+//! Least-squares boosting: each round fits a depth-limited CART
+//! regression tree to the current residuals with exact greedy splits,
+//! then shrinks its contribution by the learning rate. This captures
+//! the properties the paper attributes to OSquare ("tree-based model,
+//! lacks the ability to model spatial-temporal correlation, pointwise
+//! next-location objective") without the engineering surface of real
+//! XGBoost.
+
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage applied to every tree's output.
+    pub learning_rate: f32,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self { n_trees: 60, max_depth: 4, learning_rate: 0.15, min_samples_leaf: 4 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TreeNode {
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf { value: f32 },
+}
+
+/// One CART regression tree stored as a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f32]) -> f32 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Fits a tree to `(features, targets)` restricted to `indices`.
+    fn fit(
+        features: &[Vec<f32>],
+        targets: &[f32],
+        indices: Vec<usize>,
+        cfg: &GbdtConfig,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        Self::build(features, targets, indices, 0, cfg, &mut nodes);
+        Self { nodes }
+    }
+
+    fn build(
+        features: &[Vec<f32>],
+        targets: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        cfg: &GbdtConfig,
+        nodes: &mut Vec<TreeNode>,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| targets[i]).sum::<f32>() / indices.len() as f32;
+        if depth >= cfg.max_depth || indices.len() < 2 * cfg.min_samples_leaf {
+            nodes.push(TreeNode::Leaf { value: mean });
+            return nodes.len() - 1;
+        }
+        match best_split(features, targets, &indices, cfg.min_samples_leaf) {
+            None => {
+                nodes.push(TreeNode::Leaf { value: mean });
+                nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.into_iter().partition(|&i| features[i][feature] <= threshold);
+                let me = nodes.len();
+                nodes.push(TreeNode::Leaf { value: mean }); // placeholder
+                let left = Self::build(features, targets, left_idx, depth + 1, cfg, nodes);
+                let right = Self::build(features, targets, right_idx, depth + 1, cfg, nodes);
+                nodes[me] = TreeNode::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+}
+
+/// Exact greedy split search: for each feature, sort the node's samples
+/// and scan prefix sums, maximising SSE reduction. Returns `None` when
+/// no split satisfies the leaf-size constraint or improves SSE.
+#[allow(clippy::needless_range_loop)] // index-based split scan is the clearest form
+fn best_split(
+    features: &[Vec<f32>],
+    targets: &[f32],
+    indices: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f32)> {
+    let n = indices.len();
+    let dim = features[indices[0]].len();
+    let total_sum: f64 = indices.iter().map(|&i| targets[i] as f64).sum();
+    let mut best: Option<(usize, f32, f64)> = None;
+    let mut order: Vec<usize> = indices.to_vec();
+    for f in 0..dim {
+        order.sort_by(|&a, &b| {
+            features[a][f].partial_cmp(&features[b][f]).expect("finite features")
+        });
+        let mut left_sum = 0.0f64;
+        for k in 0..n - 1 {
+            left_sum += targets[order[k]] as f64;
+            let left_n = k + 1;
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            // skip ties: cannot split between equal feature values
+            if features[order[k]][f] == features[order[k + 1]][f] {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            // maximising sum-of-squared-means is equivalent to
+            // minimising SSE
+            let gain = left_sum * left_sum / left_n as f64
+                + right_sum * right_sum / right_n as f64;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                let threshold = 0.5 * (features[order[k]][f] + features[order[k + 1]][f]);
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    let (f, th, gain) = best?;
+    // require strictly positive SSE reduction over the unsplit node
+    let base = total_sum * total_sum / n as f64;
+    (gain > base + 1e-9).then_some((f, th))
+}
+
+/// The boosted ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    trees: Vec<Tree>,
+    base: f32,
+    lr: f32,
+}
+
+impl Gbdt {
+    /// Fits least-squares gradient boosting to the given rows.
+    ///
+    /// # Panics
+    /// Panics if `features` is empty or lengths mismatch.
+    pub fn fit(features: &[Vec<f32>], targets: &[f32], cfg: &GbdtConfig) -> Self {
+        assert!(!features.is_empty(), "GBDT needs at least one sample");
+        assert_eq!(features.len(), targets.len(), "feature/target length mismatch");
+        let base = targets.iter().sum::<f32>() / targets.len() as f32;
+        let mut residuals: Vec<f32> = targets.iter().map(|t| t - base).collect();
+        let all: Vec<usize> = (0..features.len()).collect();
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            let tree = Tree::fit(features, &residuals, all.clone(), cfg);
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= cfg.learning_rate * tree.predict(&features[i]);
+            }
+            trees.push(tree);
+        }
+        Self { trees, base, lr: cfg.learning_rate }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        self.base + self.lr * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the ensemble holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic(n: usize, seed: u64, f: impl Fn(&[f32]) -> f32) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0f32)).collect()).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let (xs, ys) = synthetic(200, 1, |x| if x[0] > 0.2 { 5.0 } else { -3.0 });
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        let mse: f32 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y))
+            .sum::<f32>()
+            / xs.len() as f32;
+        assert!(mse < 0.01, "step function not learned: mse {mse}");
+    }
+
+    #[test]
+    fn fits_a_smooth_nonlinear_function() {
+        let (xs, ys) = synthetic(400, 2, |x| x[0] * x[0] + 0.5 * x[1] - x[2] * x[0]);
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig { n_trees: 120, ..GbdtConfig::default() });
+        let mse: f32 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y))
+            .sum::<f32>()
+            / xs.len() as f32;
+        let var: f32 = {
+            let m = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|y| (y - m) * (y - m)).sum::<f32>() / ys.len() as f32
+        };
+        assert!(mse < 0.1 * var, "R^2 too low: mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn constant_targets_yield_constant_predictions() {
+        let (xs, _) = synthetic(50, 3, |_| 0.0);
+        let ys = vec![7.0f32; 50];
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        for x in &xs {
+            assert!((g.predict(x) - 7.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn respects_min_leaf_on_tiny_data() {
+        let xs = vec![vec![0.0f32], vec![1.0]];
+        let ys = vec![0.0f32, 10.0];
+        // min leaf 4 > n/2 -> every tree is a single leaf at the mean
+        let g = Gbdt::fit(&xs, &ys, &GbdtConfig { min_samples_leaf: 4, ..Default::default() });
+        assert!((g.predict(&[0.0]) - 5.0).abs() < 1e-4);
+        assert!((g.predict(&[1.0]) - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn more_trees_do_not_hurt_training_fit() {
+        let (xs, ys) = synthetic(200, 4, |x| (3.0 * x[0]).sin());
+        let mse = |g: &Gbdt| {
+            xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y).powi(2)).sum::<f32>()
+                / xs.len() as f32
+        };
+        let small = Gbdt::fit(&xs, &ys, &GbdtConfig { n_trees: 10, ..Default::default() });
+        let large = Gbdt::fit(&xs, &ys, &GbdtConfig { n_trees: 80, ..Default::default() });
+        assert!(mse(&large) <= mse(&small) + 1e-6);
+        assert_eq!(large.len(), 80);
+    }
+}

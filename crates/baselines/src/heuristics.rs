@@ -1,0 +1,259 @@
+//! The training-free baselines: Time-Greedy, Distance-Greedy and the
+//! OR-Tools-style shortest-route heuristic.
+//!
+//! All three share the paper's naive time model: "set a fixed speed for
+//! the courier; the time prediction is calculated by dividing the
+//! distance between locations by the fixed speed" — no service times,
+//! which is precisely why their time predictions are poor (Table IV).
+
+use m2g4rtp::{derive_aoi_outputs, Prediction};
+use rtp_sim::{Dataset, Point, RtpQuery, RtpSample, MINUTES_PER_KM_BASE};
+
+use crate::Baseline;
+
+/// Fixed-speed arrival gaps along `route`: cumulative Euclidean
+/// distance from the courier position times the nominal pace.
+/// Returns times aligned with location index.
+pub fn fixed_speed_times(query: &RtpQuery, route: &[usize]) -> Vec<f32> {
+    let mut times = vec![0.0f32; route.len()];
+    let mut pos = query.courier_pos;
+    let mut clock = 0.0f32;
+    for &i in route {
+        clock += query.orders[i].pos.dist(&pos) * MINUTES_PER_KM_BASE;
+        times[i] = clock;
+        pos = query.orders[i].pos;
+    }
+    times
+}
+
+fn to_prediction(query: &RtpQuery, route: Vec<usize>) -> Prediction {
+    let times = fixed_speed_times(query, &route);
+    let loc_to_aoi = query.order_aoi_indices();
+    let m = query.distinct_aois().len();
+    let (aoi_route, aoi_times) = derive_aoi_outputs(&route, &times, &loc_to_aoi, m);
+    Prediction { aoi_route, aoi_times, route, times }
+}
+
+/// Sorts the locations by their promised deadline ("remaining time
+/// until the deadline", §V-B).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeGreedy;
+
+impl Baseline for TimeGreedy {
+    fn name(&self) -> &'static str {
+        "Time-Greedy"
+    }
+
+    fn predict(&self, _dataset: &Dataset, sample: &RtpSample) -> Prediction {
+        let q = &sample.query;
+        let mut route: Vec<usize> = (0..q.orders.len()).collect();
+        route.sort_by(|&a, &b| {
+            q.orders[a].deadline.partial_cmp(&q.orders[b].deadline).expect("finite deadlines")
+        });
+        to_prediction(q, route)
+    }
+}
+
+/// Repeatedly visits the nearest unvisited location (§V-B).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistanceGreedy;
+
+impl Baseline for DistanceGreedy {
+    fn name(&self) -> &'static str {
+        "Distance-Greedy"
+    }
+
+    fn predict(&self, _dataset: &Dataset, sample: &RtpSample) -> Prediction {
+        let q = &sample.query;
+        let route = nearest_neighbour_route(q.courier_pos, q);
+        to_prediction(q, route)
+    }
+}
+
+/// A shortest-route heuristic of the same class as OR-Tools' default
+/// routing search: nearest-neighbour construction followed by 2-opt
+/// improvement of the open path (start fixed at the courier position,
+/// free end).
+#[derive(Debug, Clone, Copy)]
+pub struct OrToolsLike {
+    /// Maximum 2-opt improvement sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for OrToolsLike {
+    fn default() -> Self {
+        Self { max_sweeps: 16 }
+    }
+}
+
+impl OrToolsLike {
+    /// Total open-path length of `route` from `start`.
+    pub fn path_length(start: Point, query: &RtpQuery, route: &[usize]) -> f32 {
+        let mut pos = start;
+        let mut total = 0.0;
+        for &i in route {
+            total += query.orders[i].pos.dist(&pos);
+            pos = query.orders[i].pos;
+        }
+        total
+    }
+
+    /// Runs 2-opt on an initial route, reversing segments while any
+    /// reversal shortens the path (bounded by `max_sweeps`).
+    #[allow(clippy::ptr_arg)] // reversal needs the owned Vec semantics at call sites
+    fn two_opt(&self, start: Point, query: &RtpQuery, route: &mut Vec<usize>) {
+        let n = route.len();
+        if n < 3 {
+            return;
+        }
+        for _ in 0..self.max_sweeps {
+            let mut improved = false;
+            for a in 0..n - 1 {
+                for b in a + 1..n {
+                    let pos = |i: usize| query.orders[route[i]].pos;
+                    // reversing route[a..=b] changes two boundary edges
+                    let before_a = if a == 0 { start } else { pos(a - 1) };
+                    let old = before_a.dist(&pos(a))
+                        + if b + 1 < n { pos(b).dist(&pos(b + 1)) } else { 0.0 };
+                    let new = before_a.dist(&pos(b))
+                        + if b + 1 < n { pos(a).dist(&pos(b + 1)) } else { 0.0 };
+                    if new + 1e-6 < old {
+                        route[a..=b].reverse();
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+}
+
+impl Baseline for OrToolsLike {
+    fn name(&self) -> &'static str {
+        "OR-Tools"
+    }
+
+    fn predict(&self, _dataset: &Dataset, sample: &RtpSample) -> Prediction {
+        let q = &sample.query;
+        let mut route = nearest_neighbour_route(q.courier_pos, q);
+        self.two_opt(q.courier_pos, q, &mut route);
+        to_prediction(q, route)
+    }
+}
+
+/// Greedy nearest-neighbour path construction.
+fn nearest_neighbour_route(start: Point, query: &RtpQuery) -> Vec<usize> {
+    let n = query.orders.len();
+    let mut route = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut pos = start;
+    for _ in 0..n {
+        let (next, _) = (0..n)
+            .filter(|&i| !visited[i])
+            .map(|i| (i, query.orders[i].pos.dist(&pos)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("unvisited location remains");
+        visited[next] = true;
+        pos = query.orders[next].pos;
+        route.push(next);
+    }
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+    fn dataset() -> Dataset {
+        DatasetBuilder::new(DatasetConfig::tiny(81)).build()
+    }
+
+    fn assert_valid(p: &Prediction, sample: &RtpSample) {
+        let n = sample.query.num_locations();
+        let m = sample.query.distinct_aois().len();
+        assert_eq!(p.route.len(), n);
+        assert_eq!(p.times.len(), n);
+        assert_eq!(p.aoi_route.len(), m);
+        let mut seen = vec![false; n];
+        for &i in &p.route {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(p.times.iter().all(|&t| t >= 0.0 && t.is_finite()));
+    }
+
+    #[test]
+    fn all_heuristics_emit_valid_predictions() {
+        let d = dataset();
+        for s in d.test.iter().take(10) {
+            assert_valid(&TimeGreedy.predict(&d, s), s);
+            assert_valid(&DistanceGreedy.predict(&d, s), s);
+            assert_valid(&OrToolsLike::default().predict(&d, s), s);
+        }
+    }
+
+    #[test]
+    fn time_greedy_orders_by_deadline() {
+        let d = dataset();
+        let s = &d.test[0];
+        let p = TimeGreedy.predict(&d, s);
+        for w in p.route.windows(2) {
+            assert!(s.query.orders[w[0]].deadline <= s.query.orders[w[1]].deadline);
+        }
+    }
+
+    #[test]
+    fn distance_greedy_first_step_is_nearest() {
+        let d = dataset();
+        let s = &d.test[0];
+        let p = DistanceGreedy.predict(&d, s);
+        let dists: Vec<f32> =
+            s.query.orders.iter().map(|o| o.pos.dist(&s.query.courier_pos)).collect();
+        let nearest = (0..dists.len())
+            .min_by(|&a, &b| dists[a].partial_cmp(&dists[b]).unwrap())
+            .unwrap();
+        assert_eq!(p.route[0], nearest);
+    }
+
+    #[test]
+    fn two_opt_never_lengthens_the_path() {
+        let d = dataset();
+        let or = OrToolsLike::default();
+        for s in d.test.iter().take(20) {
+            let q = &s.query;
+            let nn = nearest_neighbour_route(q.courier_pos, q);
+            let nn_len = OrToolsLike::path_length(q.courier_pos, q, &nn);
+            let p = or.predict(&d, s);
+            let opt_len = OrToolsLike::path_length(q.courier_pos, q, &p.route);
+            assert!(opt_len <= nn_len + 1e-4, "2-opt worsened: {nn_len} -> {opt_len}");
+        }
+    }
+
+    #[test]
+    fn or_tools_beats_deadline_order_on_distance() {
+        // The shortest-path heuristic must on average produce shorter
+        // paths than deadline ordering (which ignores geometry).
+        let d = dataset();
+        let or = OrToolsLike::default();
+        let (mut or_total, mut tg_total) = (0.0, 0.0);
+        for s in &d.test {
+            let q = &s.query;
+            or_total += OrToolsLike::path_length(q.courier_pos, q, &or.predict(&d, s).route);
+            tg_total += OrToolsLike::path_length(q.courier_pos, q, &TimeGreedy.predict(&d, s).route);
+        }
+        assert!(or_total < tg_total, "OR-Tools {or_total} not shorter than Time-Greedy {tg_total}");
+    }
+
+    #[test]
+    fn fixed_speed_times_are_cumulative_along_route() {
+        let d = dataset();
+        let s = &d.test[0];
+        let p = DistanceGreedy.predict(&d, s);
+        for w in p.route.windows(2) {
+            assert!(p.times[w[1]] >= p.times[w[0]], "times must not decrease along route");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! OSquare (Zhang et al., IMWUT 2019): the tree-based baseline.
+//!
+//! The route model is a *pointwise* next-location scorer: at each
+//! decoding step, every unvisited candidate is featurised against the
+//! courier's current position/time and scored by a GBDT trained to
+//! regress "is this the true next stop"; the argmax is emitted and the
+//! whole route is produced step by step (§V-B: "OSquare outputs the
+//! next location at one step, and the whole route is generated
+//! recurrently"). A second, separately trained GBDT regresses arrival
+//! times from route-position features — the paper's "we then train
+//! another XGBoost to complete the time prediction".
+
+use m2g4rtp::{derive_aoi_outputs, Prediction};
+use rtp_sim::{Dataset, Point, RtpQuery, RtpSample, MINUTES_PER_KM_BASE};
+use serde::{Deserialize, Serialize};
+
+use crate::gbdt::{Gbdt, GbdtConfig};
+use crate::Baseline;
+
+/// OSquare hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OSquareConfig {
+    /// Boosting config of the next-location scorer.
+    pub route_gbdt: GbdtConfig,
+    /// Boosting config of the time regressor.
+    pub time_gbdt: GbdtConfig,
+}
+
+impl Default for OSquareConfig {
+    fn default() -> Self {
+        Self {
+            route_gbdt: GbdtConfig { n_trees: 80, max_depth: 5, ..GbdtConfig::default() },
+            time_gbdt: GbdtConfig { n_trees: 80, max_depth: 5, ..GbdtConfig::default() },
+        }
+    }
+}
+
+/// Featurises one candidate next stop given the decoding state.
+/// Deliberately *pointwise*: no information about the other candidates
+/// — the architectural limitation Table III attributes to OSquare.
+fn candidate_features(
+    query: &RtpQuery,
+    cand: usize,
+    cur_pos: Point,
+    cur_aoi: Option<usize>,
+    step: usize,
+    remaining: usize,
+) -> Vec<f32> {
+    let o = &query.orders[cand];
+    vec![
+        o.pos.dist(&cur_pos),
+        o.deadline - query.time,
+        query.time - o.accept_time,
+        o.pos.dist(&query.courier_pos),
+        step as f32,
+        remaining as f32,
+        if cur_aoi == Some(o.aoi_id) { 1.0 } else { 0.0 },
+    ]
+}
+
+/// Featurises one location for the time regressor, given its (predicted
+/// or true) route position and the cumulative path distance to it.
+fn time_features(query: &RtpQuery, loc: usize, position: usize, cum_dist: f32) -> Vec<f32> {
+    let o = &query.orders[loc];
+    vec![
+        position as f32,
+        cum_dist,
+        cum_dist * MINUTES_PER_KM_BASE,
+        o.pos.dist(&query.courier_pos),
+        o.deadline - query.time,
+        query.orders.len() as f32,
+    ]
+}
+
+/// The trained OSquare baseline.
+#[derive(Debug, Clone)]
+pub struct OSquare {
+    route_model: Gbdt,
+    time_model: Gbdt,
+}
+
+impl OSquare {
+    /// Trains both GBDTs on the training split.
+    #[allow(clippy::needless_range_loop)] // candidate loop reads two parallel structures
+    pub fn fit(dataset: &Dataset, config: &OSquareConfig) -> Self {
+        // ---- route scorer: one row per (step, candidate) pair ----
+        let mut feats = Vec::new();
+        let mut targets = Vec::new();
+        for s in &dataset.train {
+            let q = &s.query;
+            let mut pos = q.courier_pos;
+            let mut cur_aoi = None;
+            let mut visited = vec![false; q.orders.len()];
+            for (step, &next) in s.truth.route.iter().enumerate() {
+                let remaining = q.orders.len() - step;
+                for cand in 0..q.orders.len() {
+                    if visited[cand] {
+                        continue;
+                    }
+                    feats.push(candidate_features(q, cand, pos, cur_aoi, step, remaining));
+                    targets.push(if cand == next { 1.0 } else { 0.0 });
+                }
+                visited[next] = true;
+                pos = q.orders[next].pos;
+                cur_aoi = Some(q.orders[next].aoi_id);
+            }
+        }
+        let route_model = Gbdt::fit(&feats, &targets, &config.route_gbdt);
+
+        // ---- time regressor: trained on true routes/arrivals ----
+        let mut tfeats = Vec::new();
+        let mut ttargets = Vec::new();
+        for s in &dataset.train {
+            let q = &s.query;
+            let mut pos = q.courier_pos;
+            let mut cum = 0.0f32;
+            for (position, &loc) in s.truth.route.iter().enumerate() {
+                cum += q.orders[loc].pos.dist(&pos);
+                pos = q.orders[loc].pos;
+                tfeats.push(time_features(q, loc, position, cum));
+                ttargets.push(s.truth.arrival[loc]);
+            }
+        }
+        let time_model = Gbdt::fit(&tfeats, &ttargets, &config.time_gbdt);
+
+        Self { route_model, time_model }
+    }
+
+    /// Decodes the route greedily with the pointwise scorer.
+    fn decode_route(&self, q: &RtpQuery) -> Vec<usize> {
+        let n = q.orders.len();
+        let mut visited = vec![false; n];
+        let mut route = Vec::with_capacity(n);
+        let mut pos = q.courier_pos;
+        let mut cur_aoi = None;
+        for step in 0..n {
+            let remaining = n - step;
+            let (best, _) = (0..n)
+                .filter(|&i| !visited[i])
+                .map(|i| {
+                    let f = candidate_features(q, i, pos, cur_aoi, step, remaining);
+                    (i, self.route_model.predict(&f))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                .expect("unvisited candidate remains");
+            visited[best] = true;
+            route.push(best);
+            pos = q.orders[best].pos;
+            cur_aoi = Some(q.orders[best].aoi_id);
+        }
+        route
+    }
+}
+
+impl Baseline for OSquare {
+    fn name(&self) -> &'static str {
+        "OSquare"
+    }
+
+    fn predict(&self, _dataset: &Dataset, sample: &RtpSample) -> Prediction {
+        let q = &sample.query;
+        let route = self.decode_route(q);
+        // times from the predicted route (two-step error accumulation)
+        let mut times = vec![0.0f32; route.len()];
+        let mut pos = q.courier_pos;
+        let mut cum = 0.0f32;
+        for (position, &loc) in route.iter().enumerate() {
+            cum += q.orders[loc].pos.dist(&pos);
+            pos = q.orders[loc].pos;
+            times[loc] = self.time_model.predict(&time_features(q, loc, position, cum)).max(0.0);
+        }
+        let loc_to_aoi = q.order_aoi_indices();
+        let m = q.distinct_aois().len();
+        let (aoi_route, aoi_times) = derive_aoi_outputs(&route, &times, &loc_to_aoi, m);
+        Prediction { aoi_route, aoi_times, route, times }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtp_metrics::krc;
+    use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn osquare_trains_and_predicts_valid_routes() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(91)).build();
+        let model = OSquare::fit(&d, &OSquareConfig::default());
+        for s in d.test.iter().take(8) {
+            let p = model.predict(&d, s);
+            let n = s.query.num_locations();
+            assert_eq!(p.route.len(), n);
+            let mut seen = vec![false; n];
+            for &i in &p.route {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            assert!(p.times.iter().all(|&t| t >= 0.0 && t.is_finite()));
+        }
+    }
+
+    #[test]
+    fn osquare_beats_chance_on_route_order() {
+        let d = DatasetBuilder::new(DatasetConfig::quick(92)).build();
+        let model = OSquare::fit(&d, &OSquareConfig::default());
+        let mean_krc: f64 = d
+            .test
+            .iter()
+            .map(|s| krc(&model.predict(&d, s).route, &s.truth.route))
+            .sum::<f64>()
+            / d.test.len() as f64;
+        assert!(mean_krc > 0.2, "OSquare KRC {mean_krc} not above chance");
+    }
+}

@@ -1,0 +1,82 @@
+//! GAT-e encoder forward cost as a function of the number of location
+//! nodes — the N²F² term of the paper's Table V complexity analysis.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use m2g4rtp::{EdgeEmbedder, GatEncoder, NodeEmbedder};
+use rtp_graph::{GraphBuilder, GraphConfig, LevelGraph, MultiLevelGraph};
+use rtp_sim::{City, CityConfig, Order, Point, RtpQuery, Weather};
+use rtp_tensor::{ParamStore, Tape};
+
+/// Builds a synthetic query with exactly `n` locations.
+fn query_with_n(city: &City, n: usize) -> (RtpQuery, MultiLevelGraph, rtp_sim::Courier) {
+    let couriers = city.generate_couriers(1, 12, 7);
+    let courier = couriers[0].clone();
+    let mut orders = Vec::new();
+    for i in 0..n {
+        let aoi = city.aoi(courier.territory[i % courier.territory.len()]);
+        orders.push(Order {
+            pos: Point { x: aoi.center.x + (i as f32) * 0.01, y: aoi.center.y },
+            aoi_id: aoi.id,
+            deadline: 600.0 + i as f32 * 7.0,
+            accept_time: 500.0,
+        });
+    }
+    let query = RtpQuery {
+        courier_id: 0,
+        time: 540.0,
+        courier_pos: city.aoi(courier.territory[0]).center,
+        orders,
+        weather: Weather::Sunny,
+        weekday: 3,
+    };
+    let g = GraphBuilder::new(GraphConfig::default()).build(&query, city, &courier);
+    (query, g, courier)
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let city = City::generate(&CityConfig { n_aois: 64, ..CityConfig::default() });
+    let mut store = ParamStore::new(1);
+    let d = 32;
+    let node_emb = NodeEmbedder::new(&mut store, "n", 5, 4, 65, 2, 8, d);
+    let edge_emb = EdgeEmbedder::new(&mut store, "e", 3, d);
+    let encoder = GatEncoder::new(&mut store, "enc", d, 4, 2, 0.2);
+
+    let mut group = c.benchmark_group("gat_e_forward");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [5usize, 10, 20, 40] {
+        let (_, g, _) = query_with_n(&city, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut t = Tape::new();
+                let x = node_emb.embed(&mut t, &store, &g.locations, &g.global);
+                let z = edge_emb.embed(&mut t, &store, &g.locations);
+                std::hint::black_box(encoder.forward(&mut t, &store, x, z, &g.locations.adj))
+            })
+        });
+    }
+    group.finish();
+
+    // graph construction scaling for context
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [5usize, 20, 40] {
+        let (query, _, courier) = query_with_n(&city, n);
+        let builder = GraphBuilder::new(GraphConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| std::hint::black_box(builder.build(q, &city, &courier)))
+        });
+    }
+    group.finish();
+}
+
+/// Keep the unused LevelGraph import honest (dims used in docs).
+#[allow(dead_code)]
+fn _type_witness(_: &LevelGraph) {}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

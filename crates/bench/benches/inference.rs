@@ -1,0 +1,53 @@
+//! Table V: single-query inference latency for every method of the
+//! comparison. Uses briefly trained models — latency is
+//! weight-independent — and one representative query per size bucket.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtp_baselines::{
+    Baseline, DeepBaseline, DeepConfig, DeepKind, DistanceGreedy, OSquare, OSquareConfig,
+    OrToolsLike, TimeGreedy,
+};
+use rtp_bench::{bench_dataset, bench_model, sample_near_n};
+use rtp_eval::M2gPredictor;
+
+fn bench_inference(c: &mut Criterion) {
+    let dataset = bench_dataset();
+
+    let mut predictors: Vec<Box<dyn Baseline>> = vec![
+        Box::new(DistanceGreedy),
+        Box::new(TimeGreedy),
+        Box::new(OrToolsLike::default()),
+    ];
+    let osq_cfg = OSquareConfig::default();
+    predictors.push(Box::new(OSquare::fit(&dataset, &osq_cfg)));
+    for kind in [DeepKind::DeepRoute, DeepKind::Fdnet, DeepKind::Graph2Route] {
+        let mut m = DeepBaseline::new(
+            kind,
+            DeepConfig { route_epochs: 1, time_epochs: 1, ..DeepConfig::quick(1) },
+            &dataset,
+        );
+        m.fit(&dataset);
+        predictors.push(Box::new(m));
+    }
+    predictors.push(Box::new(M2gPredictor::new(bench_model(&dataset), "M2G4RTP")));
+
+    let mut group = c.benchmark_group("table5_inference");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16] {
+        let sample = sample_near_n(&dataset, n);
+        for p in &predictors {
+            group.bench_with_input(
+                BenchmarkId::new(p.name(), format!("n~{n}")),
+                sample,
+                |b, s| b.iter(|| std::hint::black_box(p.predict(&dataset, s))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

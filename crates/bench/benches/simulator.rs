@@ -1,0 +1,60 @@
+//! Throughput of the data substrate: city generation, courier-behaviour
+//! simulation and multi-level graph construction.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtp_graph::{GraphBuilder, GraphConfig};
+use rtp_sim::{BehaviorConfig, BehaviorSim, City, CityConfig, DatasetBuilder, DatasetConfig};
+
+fn bench_city_generation(c: &mut Criterion) {
+    let cfg = CityConfig::default();
+    c.bench_function("city_generate_320_aois", |b| {
+        b.iter(|| std::hint::black_box(City::generate(&cfg)))
+    });
+}
+
+fn bench_behavior_sim(c: &mut Criterion) {
+    let d = DatasetBuilder::new(DatasetConfig::tiny(9)).build();
+    let sim = BehaviorSim::new(&d.city, BehaviorConfig::default());
+    let s = &d.train[0];
+    let courier = &d.couriers[s.query.courier_id];
+    c.bench_function("behavior_simulate_one_route", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(sim.simulate(&s.query, courier, &mut rng))
+        })
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let d = DatasetBuilder::new(DatasetConfig::tiny(9)).build();
+    let builder = GraphBuilder::new(GraphConfig::default());
+    let s = &d.train[0];
+    let courier = &d.couriers[s.query.courier_id];
+    c.bench_function("multi_level_graph_build", |b| {
+        b.iter(|| std::hint::black_box(builder.build(&s.query, &d.city, courier)))
+    });
+}
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_build");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("tiny", |b| {
+        b.iter(|| std::hint::black_box(DatasetBuilder::new(DatasetConfig::tiny(3)).build()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_city_generation, bench_behavior_sim, bench_graph_build, bench_dataset_build
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the autodiff substrate: the ops dominating model
+//! training time (matmul, masked softmax, LSTM step) and a full
+//! forward+backward pass of a representative composite.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtp_tensor::nn::{Linear, LstmCell};
+use rtp_tensor::{ParamStore, Tape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(50);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &(r, k, cc) in &[(8usize, 32usize, 32usize), (20, 32, 32), (32, 64, 64), (128, 128, 128)] {
+        let a: Vec<f32> = (0..r * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * cc).map(|i| (i as f32 * 0.73).cos()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{k}x{cc}")),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter(|| {
+                    let mut t = Tape::new();
+                    let ta = t.constant(r, k, a.clone());
+                    let tb = t.constant(k, cc, b.clone());
+                    std::hint::black_box(t.matmul(ta, tb))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_masked_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_softmax_rows");
+    group.sample_size(50);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[10usize, 20, 40] {
+        let vals: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.11).sin() * 4.0).collect();
+        let mask: Vec<bool> = (0..n * n).map(|i| i % 3 != 0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(vals, mask), |b, (v, m)| {
+            b.iter(|| {
+                let mut t = Tape::new();
+                let x = t.constant(n, n, v.clone());
+                std::hint::black_box(t.masked_softmax_rows(x, m))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut store = ParamStore::new(1);
+    let cell = LstmCell::new(&mut store, "l", 32, 32);
+    c.bench_function("lstm_step_32", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let x = t.constant(1, 32, vec![0.3; 32]);
+            let s = cell.zero_state(&mut t);
+            std::hint::black_box(cell.step(&mut t, &store, x, s))
+        })
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    // A 3-layer MLP forward+backward over a [16, 32] batch: the
+    // canonical unit of training cost.
+    let mut store = ParamStore::new(2);
+    let l1 = Linear::new(&mut store, "l1", 32, 64);
+    let l2 = Linear::new(&mut store, "l2", 64, 64);
+    let l3 = Linear::new(&mut store, "l3", 64, 1);
+    let x: Vec<f32> = (0..16 * 32).map(|i| (i as f32 * 0.17).sin()).collect();
+    c.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let xv = t.constant(16, 32, x.clone());
+            let h = l1.forward(&mut t, &store, xv);
+            let h = t.relu(h);
+            let h = l2.forward(&mut t, &store, h);
+            let h = t.relu(h);
+            let y = l3.forward(&mut t, &store, h);
+            let loss = t.mean_all(y);
+            store.zero_grad();
+            t.backward(loss, &mut store);
+            std::hint::black_box(store.grad_norm())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_matmul, bench_masked_softmax, bench_lstm_step, bench_forward_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # rtp-bench
+//!
+//! Criterion benchmarks for the M²G4RTP reproduction:
+//!
+//! * `inference` — per-model single-query latency (paper Table V).
+//! * `encoder_scaling` — GAT-e forward cost vs the number of locations.
+//! * `tensor_ops` — substrate micro-benches (matmul, softmax, LSTM
+//!   step, full backward).
+//! * `simulator` — world generation, behaviour simulation and graph
+//!   construction throughput.
+//!
+//! Shared fixtures live here so every bench sees identical inputs.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
+
+/// A small dataset shared by the benches (deterministic).
+pub fn bench_dataset() -> Dataset {
+    DatasetBuilder::new(DatasetConfig::tiny(4242)).build()
+}
+
+/// A briefly trained M²G4RTP model with its pipeline attached. Latency
+/// does not depend on how converged the weights are, so one epoch is
+/// enough.
+pub fn bench_model(dataset: &Dataset) -> M2G4Rtp {
+    let mut model = M2G4Rtp::new(ModelConfig::for_dataset(dataset), 1);
+    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, dataset);
+    model
+}
+
+/// Picks the test sample whose location count is closest to `n`.
+pub fn sample_near_n(dataset: &Dataset, n: usize) -> &rtp_sim::RtpSample {
+    dataset
+        .test
+        .iter()
+        .min_by_key(|s| s.query.num_locations().abs_diff(n))
+        .expect("non-empty test split")
+}

@@ -1,0 +1,255 @@
+//! Hand-rolled, unit-testable argument parsing for the `rtp` binary.
+
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The selected subcommand with its options.
+    pub command: Command,
+}
+
+/// The `rtp` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset and write it as JSON.
+    Generate {
+        /// Dataset scale preset: "tiny", "quick" or "full".
+        scale: String,
+        /// Generation seed.
+        seed: u64,
+        /// Output path.
+        out: String,
+    },
+    /// Train an M²G4RTP model on a dataset file.
+    Train {
+        /// Dataset JSON path.
+        dataset: String,
+        /// Epochs (0 = preset default).
+        epochs: usize,
+        /// Model variant label ("full", "two-step", "no-aoi",
+        /// "no-graph", "no-uncertainty").
+        variant: String,
+        /// Training seed.
+        seed: u64,
+        /// Output model path.
+        out: String,
+    },
+    /// Predict one test sample and compare with its label.
+    Predict {
+        /// Model JSON path.
+        model: String,
+        /// Dataset JSON path.
+        dataset: String,
+        /// Test-split sample index.
+        sample: usize,
+        /// Beam width (1 = greedy).
+        beam: usize,
+    },
+    /// Evaluate a model over the dataset's test split.
+    Evaluate {
+        /// Model JSON path.
+        model: String,
+        /// Dataset JSON path.
+        dataset: String,
+    },
+    /// Serve the model over TCP (newline-delimited JSON).
+    Serve {
+        /// Model JSON path.
+        model: String,
+        /// Dataset JSON path (city/fleet context).
+        dataset: String,
+        /// TCP port (0 = ephemeral).
+        port: u16,
+        /// Maximum requests to serve before exiting (0 = forever).
+        max_requests: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `rtp help`.
+pub const USAGE: &str = "\
+rtp — M2G4RTP route & time prediction toolkit
+
+USAGE:
+  rtp generate --scale <tiny|quick|full> [--seed N] --out <dataset.json>
+  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] --out <model.json>
+  rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
+  rtp evaluate --model <model.json> --dataset <dataset.json>
+  rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
+  rtp help
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut (dyn Iterator<Item = &'a str> + '_),
+) -> Result<String, ParseError> {
+    it.next().map(str::to_string).ok_or_else(|| ParseError(format!("missing value for {flag}")))
+}
+
+/// Parses the arguments after the program name.
+pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
+    let mut it = args.iter().copied();
+    let sub = it.next().ok_or_else(|| ParseError("missing subcommand; try `rtp help`".into()))?;
+
+    let mut scale = "quick".to_string();
+    let mut seed = 2023u64;
+    let mut out = String::new();
+    let mut dataset = String::new();
+    let mut model = String::new();
+    let mut epochs = 0usize;
+    let mut variant = "full".to_string();
+    let mut sample = 0usize;
+    let mut beam = 1usize;
+    let mut port = 0u16;
+    let mut max_requests = 0usize;
+
+    while let Some(flag) = it.next() {
+        let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
+        match flag {
+            "--scale" => scale = v(&mut it)?,
+            "--seed" => {
+                seed = v(&mut it)?.parse().map_err(|_| ParseError("bad --seed".into()))?
+            }
+            "--out" => out = v(&mut it)?,
+            "--dataset" => dataset = v(&mut it)?,
+            "--model" => model = v(&mut it)?,
+            "--epochs" => {
+                epochs = v(&mut it)?.parse().map_err(|_| ParseError("bad --epochs".into()))?
+            }
+            "--variant" => variant = v(&mut it)?,
+            "--sample" => {
+                sample = v(&mut it)?.parse().map_err(|_| ParseError("bad --sample".into()))?
+            }
+            "--beam" => beam = v(&mut it)?.parse().map_err(|_| ParseError("bad --beam".into()))?,
+            "--port" => port = v(&mut it)?.parse().map_err(|_| ParseError("bad --port".into()))?,
+            "--max-requests" => {
+                max_requests =
+                    v(&mut it)?.parse().map_err(|_| ParseError("bad --max-requests".into()))?
+            }
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let require = |name: &str, val: &str| -> Result<(), ParseError> {
+        if val.is_empty() {
+            Err(ParseError(format!("{sub}: missing required --{name}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    let command = match sub {
+        "generate" => {
+            require("out", &out)?;
+            if !["tiny", "quick", "full"].contains(&scale.as_str()) {
+                return Err(ParseError(format!("unknown scale `{scale}`")));
+            }
+            Command::Generate { scale, seed, out }
+        }
+        "train" => {
+            require("dataset", &dataset)?;
+            require("out", &out)?;
+            if !["full", "two-step", "no-aoi", "no-graph", "no-uncertainty"]
+                .contains(&variant.as_str())
+            {
+                return Err(ParseError(format!("unknown variant `{variant}`")));
+            }
+            Command::Train { dataset, epochs, variant, seed, out }
+        }
+        "predict" => {
+            require("model", &model)?;
+            require("dataset", &dataset)?;
+            if beam == 0 {
+                return Err(ParseError("--beam must be >= 1".into()));
+            }
+            Command::Predict { model, dataset, sample, beam }
+        }
+        "evaluate" => {
+            require("model", &model)?;
+            require("dataset", &dataset)?;
+            Command::Evaluate { model, dataset }
+        }
+        "serve" => {
+            require("model", &model)?;
+            require("dataset", &dataset)?;
+            Command::Serve { model, dataset, port, max_requests }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown subcommand `{other}`"))),
+    };
+    Ok(Cli { command })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generate() {
+        let cli = parse(&["generate", "--scale", "tiny", "--seed", "9", "--out", "d.json"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Generate { scale: "tiny".into(), seed: 9, out: "d.json".into() }
+        );
+    }
+
+    #[test]
+    fn parses_train_with_defaults() {
+        let cli = parse(&["train", "--dataset", "d.json", "--out", "m.json"]).unwrap();
+        match cli.command {
+            Command::Train { epochs, variant, seed, .. } => {
+                assert_eq!(epochs, 0);
+                assert_eq!(variant, "full");
+                assert_eq!(seed, 2023);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_and_predict() {
+        let cli = parse(&[
+            "serve", "--model", "m.json", "--dataset", "d.json", "--port", "7878",
+            "--max-requests", "5",
+        ])
+        .unwrap();
+        assert!(matches!(cli.command, Command::Serve { port: 7878, max_requests: 5, .. }));
+        let cli =
+            parse(&["predict", "--model", "m.json", "--dataset", "d.json", "--sample", "3", "--beam", "4"])
+                .unwrap();
+        assert!(matches!(cli.command, Command::Predict { sample: 3, beam: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["generate"]).is_err(), "missing --out");
+        assert!(parse(&["generate", "--scale", "mega", "--out", "x"]).is_err());
+        assert!(parse(&["train", "--dataset", "d", "--out", "m", "--variant", "bogus"]).is_err());
+        assert!(parse(&["predict", "--model", "m", "--dataset", "d", "--beam", "0"]).is_err());
+        assert!(parse(&["generate", "--seed"]).is_err(), "dangling flag value");
+        assert!(parse(&["generate", "--wat", "1", "--out", "x"]).is_err());
+    }
+
+    #[test]
+    fn help_parses() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&[h]).unwrap().command, Command::Help);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Implementations of the CLI subcommands.
+
+use std::fs;
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, SavedModel, TrainConfig, Trainer, Variant};
+use rtp_metrics::{acc_at, hr_at_k, krc, lsd, mae, rmse, Bucket, RouteMetricAccumulator, TimeMetricAccumulator};
+use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
+
+use crate::args::Command;
+use crate::serve;
+
+/// Runs a parsed command, returning the process exit code. All output
+/// goes to `out` (stdout in `main`, a buffer in tests).
+pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(0)
+        }
+        Command::Generate { scale, seed, out: path } => {
+            let config = match scale.as_str() {
+                "tiny" => DatasetConfig::tiny(seed),
+                "quick" => DatasetConfig::quick(seed),
+                "full" => DatasetConfig { seed, ..DatasetConfig::default() },
+                other => unreachable!("parser rejects scale {other}"),
+            };
+            let dataset = DatasetBuilder::new(config).build();
+            fs::write(&path, dataset.to_json().expect("serialise dataset"))?;
+            writeln!(
+                out,
+                "wrote {path}: {} train / {} val / {} test samples, {} AOIs, {} couriers",
+                dataset.train.len(),
+                dataset.val.len(),
+                dataset.test.len(),
+                dataset.city.aois.len(),
+                dataset.couriers.len()
+            )?;
+            Ok(0)
+        }
+        Command::Train { dataset, epochs, variant, seed, out: path } => {
+            let dataset = load_dataset(&dataset)?;
+            let variant = match variant.as_str() {
+                "full" => Variant::Full,
+                "two-step" => Variant::TwoStep,
+                "no-aoi" => Variant::NoAoi,
+                "no-graph" => Variant::NoGraph,
+                "no-uncertainty" => Variant::NoUncertainty,
+                other => unreachable!("parser rejects variant {other}"),
+            };
+            let mut train_cfg = TrainConfig { verbose: true, ..TrainConfig::quick() };
+            if epochs > 0 {
+                train_cfg.epochs = epochs;
+            }
+            let mut model =
+                M2G4Rtp::new(ModelConfig::for_dataset(&dataset).with_variant(variant), seed);
+            writeln!(out, "training {} ({} parameters)...", variant.label(), model.num_parameters())?;
+            let report = Trainer::new(train_cfg).fit(&mut model, &dataset);
+            writeln!(
+                out,
+                "trained {} epochs in {:.1}s — best val KRC {:.3}, MAE {:.1} min",
+                report.epochs_run, report.train_seconds, report.best_val_krc, report.best_val_mae
+            )?;
+            fs::write(&path, serde_json::to_string(&model.to_saved()).expect("serialise model"))?;
+            writeln!(out, "wrote {path}")?;
+            Ok(0)
+        }
+        Command::Predict { model, dataset, sample, beam } => {
+            let dataset = load_dataset(&dataset)?;
+            let model = load_model(&model)?;
+            let Some(s) = dataset.test.get(sample) else {
+                writeln!(out, "sample index {sample} out of range (test has {})", dataset.test.len())?;
+                return Ok(2);
+            };
+            let g = model.build_graph(&dataset.city, &dataset.couriers[s.query.courier_id], &s.query);
+            let p = if beam > 1 { model.predict_beam(&g, beam) } else { model.predict(&g) };
+            writeln!(out, "query: {} locations across {} AOIs", s.query.num_locations(), s.query.distinct_aois().len())?;
+            writeln!(out, "predicted route: {:?}", p.route)?;
+            writeln!(out, "actual route:    {:?}", s.truth.route)?;
+            writeln!(
+                out,
+                "HR@3 {:.1}%  KRC {:.3}  LSD {:.2}  |  RMSE {:.1}  MAE {:.1}  acc@20 {:.0}%",
+                hr_at_k(&p.route, &s.truth.route, 3) * 100.0,
+                krc(&p.route, &s.truth.route),
+                lsd(&p.route, &s.truth.route),
+                rmse(&p.times, &s.truth.arrival),
+                mae(&p.times, &s.truth.arrival),
+                acc_at(&p.times, &s.truth.arrival, 20.0),
+            )?;
+            Ok(0)
+        }
+        Command::Evaluate { model, dataset } => {
+            let dataset = load_dataset(&dataset)?;
+            let model = load_model(&model)?;
+            let mut racc = RouteMetricAccumulator::new();
+            let mut tacc = TimeMetricAccumulator::new();
+            for s in &dataset.test {
+                let p = model.predict_sample(&dataset, s);
+                racc.add(&p.route, &s.truth.route);
+                tacc.add(&p.times, &s.truth.arrival, s.query.num_locations());
+            }
+            writeln!(out, "test split: {} samples", dataset.test.len())?;
+            for b in Bucket::ALL {
+                if let (Some(r), Some(t)) = (racc.finish(b), tacc.finish(b)) {
+                    writeln!(
+                        out,
+                        "{:<14} HR@3 {:>6.2}  KRC {:>6.3}  LSD {:>6.2} | RMSE {:>6.2}  MAE {:>6.2}  acc@20 {:>5.1}",
+                        b.label(), r.hr3, r.krc, r.lsd, t.rmse, t.mae, t.acc20
+                    )?;
+                }
+            }
+            Ok(0)
+        }
+        Command::Serve { model, dataset, port, max_requests } => {
+            let dataset = load_dataset(&dataset)?;
+            let model = load_model(&model)?;
+            serve::serve(model, dataset, port, max_requests, out)
+        }
+    }
+}
+
+fn load_dataset(path: &str) -> std::io::Result<Dataset> {
+    let text = fs::read_to_string(path)?;
+    Dataset::from_json(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}")))
+}
+
+fn load_model(path: &str) -> std::io::Result<M2G4Rtp> {
+    let text = fs::read_to_string(path)?;
+    let saved: SavedModel = serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}")))?;
+    Ok(M2G4Rtp::from_saved(saved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_capture(args: &[&str]) -> (i32, String) {
+        let cli = parse(args).expect("parse");
+        let mut buf = Vec::new();
+        let code = run(cli.command, &mut buf).expect("io");
+        (code, String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn generate_train_predict_evaluate_pipeline() {
+        let dir = std::env::temp_dir().join(format!("rtp-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("d.json");
+        let md = dir.join("m.json");
+        let (ds_s, md_s) = (ds.to_str().unwrap(), md.to_str().unwrap());
+
+        let (code, out) = run_capture(&["generate", "--scale", "tiny", "--seed", "3", "--out", ds_s]);
+        assert_eq!(code, 0);
+        assert!(out.contains("train"), "{out}");
+
+        let (code, out) = run_capture(&[
+            "train", "--dataset", ds_s, "--epochs", "1", "--out", md_s, "--seed", "5",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("best val KRC"), "{out}");
+
+        let (code, out) =
+            run_capture(&["predict", "--model", md_s, "--dataset", ds_s, "--sample", "0"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("predicted route"), "{out}");
+        assert!(out.contains("KRC"), "{out}");
+
+        let (code, out) = run_capture(&["evaluate", "--model", md_s, "--dataset", ds_s]);
+        assert_eq!(code, 0);
+        assert!(out.contains("all"), "{out}");
+
+        let (code, out) = run_capture(&[
+            "predict", "--model", md_s, "--dataset", ds_s, "--sample", "99999",
+        ]);
+        assert_eq!(code, 2, "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_capture(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("rtp serve"));
+    }
+}

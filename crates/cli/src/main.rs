@@ -1,0 +1,23 @@
+//! The `rtp` binary: parse arguments, dispatch, exit.
+
+use rtp_cli::{args, commands};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    let cli = match args::parse(&refs) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match commands::run(cli.command, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The TCP inference server: the closest in-repo analog of the paper's
+//! §VI online deployment (Fig. 7). Speaks newline-delimited JSON:
+//! every request line is an [`rtp_sim::RtpQuery`], every response line
+//! a [`ServeResponse`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use m2g4rtp::M2G4Rtp;
+use rtp_eval::service::RtpService;
+use rtp_sim::{Dataset, RtpQuery};
+use serde::{Deserialize, Serialize};
+
+/// One served prediction, mirroring the two application-layer products
+/// (Intelligent Order Sorting and Minute-Level ETA).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Order indices in predicted service sequence.
+    pub sorted_orders: Vec<usize>,
+    /// Predicted AOI visit sequence.
+    pub aoi_sequence: Vec<usize>,
+    /// Per-order ETA in minutes (aligned with the query's order index).
+    pub eta_minutes: Vec<f32>,
+    /// Server-side handling latency, ms.
+    pub latency_ms: f64,
+}
+
+/// An error reply for malformed requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeError {
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Binds a listener, prints `listening on <addr>` to `out`, and serves
+/// until `max_requests` requests have been answered (0 = forever).
+/// Each connection may pipeline many request lines.
+pub fn serve(
+    model: M2G4Rtp,
+    dataset: Dataset,
+    port: u16,
+    max_requests: usize,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    writeln!(out, "listening on {}", listener.local_addr()?)?;
+    out.flush()?;
+    let service = RtpService::new(model);
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        served += handle_connection(&service, &dataset, stream, max_requests.saturating_sub(served))?;
+        if max_requests != 0 && served >= max_requests {
+            break;
+        }
+    }
+    writeln!(out, "served {served} request(s)")?;
+    Ok(0)
+}
+
+/// Handles one connection; returns the number of requests answered.
+fn handle_connection(
+    service: &RtpService,
+    dataset: &Dataset,
+    stream: TcpStream,
+    budget: usize,
+) -> std::io::Result<usize> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let mut served = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<RtpQuery>(&line) {
+            Err(e) => serde_json::to_string(&ServeError { error: format!("bad request: {e}") })
+                .expect("serialise error"),
+            Ok(query) if query.orders.is_empty() => {
+                serde_json::to_string(&ServeError { error: "bad request: empty order set".into() })
+                    .expect("serialise error")
+            }
+            Ok(query) => {
+                let courier = dataset
+                    .couriers
+                    .get(query.courier_id)
+                    .unwrap_or(&dataset.couriers[0]);
+                let resp = service.handle(&dataset.city, courier, &query);
+                let eta_minutes = {
+                    // service returns ETAs per order index already
+                    resp.etas.iter().map(|e| e.eta_minutes).collect()
+                };
+                serde_json::to_string(&ServeResponse {
+                    sorted_orders: resp.sorted_orders,
+                    aoi_sequence: resp.aoi_sequence,
+                    eta_minutes,
+                    latency_ms: resp.latency_ms,
+                })
+                .expect("serialise response")
+            }
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        served += 1;
+        if budget != 0 && served >= budget {
+            break;
+        }
+    }
+    Ok(served)
+}

@@ -1,0 +1,82 @@
+//! End-to-end test of the TCP inference server: train a tiny model,
+//! serve it on an ephemeral port, and act as a client speaking
+//! newline-delimited JSON.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_cli::serve::{serve, ServeResponse};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+#[test]
+fn serve_answers_queries_over_tcp() {
+    let dataset = DatasetBuilder::new(DatasetConfig::tiny(151)).build();
+    let mut cfg = ModelConfig::for_dataset(&dataset);
+    cfg.d_loc = 16;
+    cfg.d_aoi = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    let mut model = M2G4Rtp::new(cfg, 3);
+    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+
+    // capture the server's "listening on ADDR" line through a pipe
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+    struct AddrSink(std::sync::mpsc::Sender<String>, Vec<u8>);
+    impl Write for AddrSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.1.extend_from_slice(buf);
+            if let Some(pos) = self.1.iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.1[..pos]).to_string();
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    let _ = self.0.send(addr.to_string());
+                }
+                self.1.drain(..=pos);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let dataset2 = dataset.clone();
+    let server = std::thread::spawn(move || {
+        let mut sink = AddrSink(addr_tx, Vec::new());
+        // serve exactly 3 requests on an ephemeral port, then exit
+        serve(model, dataset2, 0, 3, &mut sink).expect("server runs");
+    });
+
+    let addr = addr_rx.recv_timeout(std::time::Duration::from_secs(30)).expect("server address");
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+
+    // 1–2: two valid queries, pipelined on one connection
+    for k in 0..2 {
+        let q = &dataset.test[k].query;
+        let line = serde_json::to_string(q).expect("serialise query");
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let resp: ServeResponse = serde_json::from_str(&reply).expect("valid response JSON");
+        assert_eq!(resp.sorted_orders.len(), q.orders.len());
+        assert_eq!(resp.eta_minutes.len(), q.orders.len());
+        assert!(resp.eta_minutes.iter().all(|&e| e >= 0.0 && e.is_finite()));
+        assert!(resp.latency_ms > 0.0);
+        // sorted orders are a permutation
+        let mut seen = vec![false; q.orders.len()];
+        for &i in &resp.sorted_orders {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    // 3: malformed request gets a JSON error, not a dropped connection
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("error"), "expected error reply, got: {reply}");
+
+    server.join().expect("server thread exits cleanly");
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 4 (data distribution) and the §V.A transfer
+//! analysis from the synthetic dataset.
+
+use rtp_eval::{fig4_distribution, scale_from_args, ExperimentConfig};
+use rtp_sim::DatasetBuilder;
+
+fn main() {
+    let config = ExperimentConfig::for_scale(scale_from_args(), 2023);
+    let dataset = DatasetBuilder::new(config.dataset.clone()).build();
+    let (text, dist) = fig4_distribution(&dataset);
+    println!("{text}");
+    rtp_eval::write_artifact("fig4.txt", &text);
+    rtp_eval::write_artifact("fig4.json", &serde_json::to_string_pretty(&dist).unwrap());
+}

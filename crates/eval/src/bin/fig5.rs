@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 5 (component analysis): trains every ablation
+//! variant with identical data/seed and reports all six metrics.
+
+use rtp_eval::{ablation_study, scale_from_args, ExperimentConfig};
+use rtp_sim::DatasetBuilder;
+
+fn main() {
+    let config = ExperimentConfig::for_scale(scale_from_args(), 2023);
+    let dataset = DatasetBuilder::new(config.dataset.clone()).build();
+    let (text, rows) = ablation_study(&config, &dataset);
+    println!("{text}");
+    rtp_eval::write_artifact("fig5.txt", &text);
+    rtp_eval::write_artifact("fig5.json", &serde_json::to_string_pretty(&rows).unwrap());
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 6 (case study): block structure vs
+//! Graph2Route, time-error accumulation vs FDNET.
+
+use rtp_eval::{case_study, scale_from_args, train_zoo, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::for_scale(scale_from_args(), 2023);
+    let (dataset, zoo) = train_zoo(&config);
+    let cs = case_study(&dataset, &zoo);
+    println!("{}", cs.text);
+    rtp_eval::write_artifact("fig6.txt", &cs.text);
+    rtp_eval::write_artifact("fig6_case1.svg", &cs.case1_svg);
+    rtp_eval::write_artifact("fig6_case2.svg", &cs.case2_svg);
+    rtp_eval::write_artifact("fig6.json", &serde_json::to_string_pretty(&cs).unwrap());
+}

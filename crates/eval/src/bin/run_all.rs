@@ -1,0 +1,58 @@
+//! Runs every table and figure of the paper's evaluation section with a
+//! single shared zoo training, writing all artifacts under `results/`.
+
+use rtp_eval::*;
+use rtp_sim::DatasetBuilder;
+
+fn main() {
+    let scale = scale_from_args();
+    let config = ExperimentConfig::for_scale(scale, 2023);
+
+    // Table I (static) and Fig. 4 (dataset only)
+    let t1 = comparison_matrix();
+    println!("{t1}");
+    write_artifact("table1.txt", &t1);
+
+    let dataset_for_fig4 = DatasetBuilder::new(config.dataset.clone()).build();
+    let (f4, dist) = fig4_distribution(&dataset_for_fig4);
+    println!("{f4}");
+    write_artifact("fig4.txt", &f4);
+    write_artifact("fig4.json", &serde_json::to_string_pretty(&dist).unwrap());
+    drop(dataset_for_fig4);
+
+    // one zoo training shared by Tables III/IV/V and Fig. 6
+    let (dataset, zoo) = train_zoo(&config);
+    let outcome = evaluate_zoo(&dataset, &zoo);
+
+    let (t3, rows3) = route_table(&outcome);
+    println!("{t3}");
+    write_artifact("table3.txt", &t3);
+    write_artifact("table3.json", &serde_json::to_string_pretty(&rows3).unwrap());
+
+    let (t4, rows4) = time_table(&outcome);
+    println!("{t4}");
+    write_artifact("table4.txt", &t4);
+    write_artifact("table4.json", &serde_json::to_string_pretty(&rows4).unwrap());
+
+    let (t5, rows5) = scalability_table(&outcome, &zoo);
+    println!("{t5}");
+    write_artifact("table5.txt", &t5);
+    write_artifact("table5.json", &serde_json::to_string_pretty(&rows5).unwrap());
+
+    let cs = case_study(&dataset, &zoo);
+    println!("{}", cs.text);
+    write_artifact("fig6.txt", &cs.text);
+    write_artifact("fig6_case1.svg", &cs.case1_svg);
+    write_artifact("fig6_case2.svg", &cs.case2_svg);
+    write_artifact("fig6.json", &serde_json::to_string_pretty(&cs).unwrap());
+
+    // Fig. 5 trains its own ablation variants
+    let (f5, rows5f) = ablation_study(&config, &dataset);
+    println!("{f5}");
+    write_artifact("fig5.txt", &f5);
+    write_artifact("fig5.json", &serde_json::to_string_pretty(&rows5f).unwrap());
+
+    let secs: Vec<String> =
+        zoo.train_seconds.iter().map(|(n, s)| format!("  {n}: {s:.1}s")).collect();
+    eprintln!("training wall-clock:\n{}", secs.join("\n"));
+}

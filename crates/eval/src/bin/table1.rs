@@ -1,0 +1,7 @@
+//! Regenerates paper Table I (qualitative method comparison).
+
+fn main() {
+    let text = rtp_eval::comparison_matrix();
+    println!("{text}");
+    rtp_eval::write_artifact("table1.txt", &text);
+}

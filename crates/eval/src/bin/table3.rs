@@ -1,0 +1,26 @@
+//! Regenerates paper Table III (route prediction results): trains the
+//! full model zoo and evaluates HR@3 / KRC / LSD per size bucket.
+
+use rtp_eval::{aggregate_rows_with_std, evaluate_zoo, route_table, scale_from_args, seeds_from_args, train_zoo, ExperimentConfig};
+
+fn main() {
+    let seeds = seeds_from_args();
+    let mut all_rows = Vec::new();
+    for k in 0..seeds {
+        let config = ExperimentConfig::for_scale(scale_from_args(), 2023 + k as u64);
+        let (dataset, zoo) = train_zoo(&config);
+        let outcome = evaluate_zoo(&dataset, &zoo);
+        let (text, rows) = route_table(&outcome);
+        if seeds == 1 {
+            println!("{text}");
+            rtp_eval::write_artifact("table3.txt", &text);
+        }
+        all_rows.push(rows);
+    }
+    if seeds > 1 {
+        let text = aggregate_rows_with_std(&all_rows, "Table III: Route Prediction Results");
+        println!("{text}");
+        rtp_eval::write_artifact("table3_multiseed.txt", &text);
+    }
+    rtp_eval::write_artifact("table3.json", &serde_json::to_string_pretty(&all_rows).unwrap());
+}

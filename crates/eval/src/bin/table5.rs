@@ -1,0 +1,14 @@
+//! Regenerates paper Table V (scalability analysis): inference time
+//! complexity plus measured per-query latency for every method.
+
+use rtp_eval::{evaluate_zoo, scalability_table, scale_from_args, train_zoo, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::for_scale(scale_from_args(), 2023);
+    let (dataset, zoo) = train_zoo(&config);
+    let outcome = evaluate_zoo(&dataset, &zoo);
+    let (text, rows) = scalability_table(&outcome, &zoo);
+    println!("{text}");
+    rtp_eval::write_artifact("table5.txt", &text);
+    rtp_eval::write_artifact("table5.json", &serde_json::to_string_pretty(&rows).unwrap());
+}

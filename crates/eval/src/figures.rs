@@ -1,0 +1,296 @@
+//! Regeneration of the paper's figures: Fig. 4 (data distribution),
+//! Fig. 5 (component analysis / ablations) and Fig. 6 (case study).
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, Trainer, Variant};
+use rtp_metrics::{acc_at, hr_at_k, krc, lsd, mae, rmse};
+use rtp_sim::stats::{data_distribution, DataDistribution};
+use rtp_sim::{Dataset, RtpSample};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{evaluate_method, ExperimentConfig, M2gPredictor, Zoo};
+use crate::render::{render_case_svg, RouteStyle};
+
+// -------------------------------------------------------------------
+// Fig. 4
+// -------------------------------------------------------------------
+
+/// Computes and renders Fig. 4: arrival-time histograms, sample-size
+/// histograms and the §V.A transfer analysis.
+pub fn fig4_distribution(dataset: &Dataset) -> (String, DataDistribution) {
+    let dist = data_distribution(dataset);
+    let mut out = String::from("Figure 4: Data Distribution\n\n");
+    out.push_str(&render_hist(
+        "(a) location arrival time (min)",
+        &dist.location_arrival.counts,
+        dist.location_arrival.start,
+        dist.location_arrival.width,
+        dist.location_arrival.mean,
+    ));
+    out.push_str(&render_hist(
+        "(b) AOI arrival time (min)",
+        &dist.aoi_arrival.counts,
+        dist.aoi_arrival.start,
+        dist.aoi_arrival.width,
+        dist.aoi_arrival.mean,
+    ));
+    out.push_str(&render_hist(
+        "(c) locations per sample",
+        &dist.locations_per_sample.counts,
+        dist.locations_per_sample.start,
+        dist.locations_per_sample.width,
+        dist.locations_per_sample.mean,
+    ));
+    out.push_str(&render_hist(
+        "(d) AOIs per sample",
+        &dist.aois_per_sample.counts,
+        dist.aois_per_sample.start,
+        dist.aois_per_sample.width,
+        dist.aois_per_sample.mean,
+    ));
+    out.push_str(&format!(
+        "\nTransfer analysis (paper SV.A: 50.97 vs 6.20):\n  avg location transfers per courier-day: {:.2}\n  avg AOI transfers per courier-day:      {:.2}\n",
+        dist.avg_location_transfers_per_day, dist.avg_aoi_transfers_per_day
+    ));
+    (out, dist)
+}
+
+fn render_hist(title: &str, counts: &[u64], start: f32, width: f32, mean: f32) -> String {
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("{title}   (mean {mean:.2})\n");
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = start + i as f32 * width;
+        let bar = "#".repeat((c * 40 / max) as usize);
+        out.push_str(&format!("  {lo:>6.0}+ |{bar:<40} {c}\n"));
+    }
+    out.push('\n');
+    out
+}
+
+// -------------------------------------------------------------------
+// Fig. 5
+// -------------------------------------------------------------------
+
+/// One ablation variant's full metric set (Fig. 5 plots all six).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// HR@3 (%), all-bucket.
+    pub hr3: f64,
+    /// KRC, all-bucket.
+    pub krc: f64,
+    /// LSD, all-bucket.
+    pub lsd: f64,
+    /// RMSE (min), all-bucket.
+    pub rmse: f64,
+    /// MAE (min), all-bucket.
+    pub mae: f64,
+    /// acc@20 (%), all-bucket.
+    pub acc20: f64,
+}
+
+/// Trains every ablation variant of Fig. 5 with identical data,
+/// hyperparameters and seed, and evaluates on the test split.
+pub fn ablation_study(config: &ExperimentConfig, dataset: &Dataset) -> (String, Vec<AblationRow>) {
+    let mut rows = Vec::new();
+    for variant in Variant::ALL {
+        eprintln!("== ablation: training {} ==", variant.label());
+        let cfg = ModelConfig::for_dataset(dataset).with_variant(variant);
+        let mut model = M2G4Rtp::new(cfg, config.model_seed);
+        Trainer::new(config.train.clone()).fit(&mut model, dataset);
+        let pred = M2gPredictor::new(model, variant.label());
+        let eval = evaluate_method(dataset, &pred);
+        let r = eval
+            .route
+            .iter()
+            .find(|(b, _)| *b == rtp_metrics::Bucket::All)
+            .map(|(_, r)| *r)
+            .unwrap_or_default();
+        let t = eval
+            .time
+            .iter()
+            .find(|(b, _)| *b == rtp_metrics::Bucket::All)
+            .map(|(_, t)| *t)
+            .unwrap_or_default();
+        rows.push(AblationRow {
+            variant: variant.label().to_string(),
+            hr3: r.hr3,
+            krc: r.krc,
+            lsd: r.lsd,
+            rmse: t.rmse,
+            mae: t.mae,
+            acc20: t.acc20,
+        });
+    }
+    let mut out = String::from("Figure 5: Component Analysis (all-bucket test metrics)\n\n");
+    out.push_str(&format!(
+        "{:<18}{:>8}{:>8}{:>8}{:>9}{:>8}{:>9}\n",
+        "Variant", "HR@3", "KRC", "LSD", "RMSE", "MAE", "acc@20"
+    ));
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<18}{:>8.2}{:>8.3}{:>8.2}{:>9.2}{:>8.2}{:>9.2}\n",
+            r.variant, r.hr3, r.krc, r.lsd, r.rmse, r.mae, r.acc20
+        ));
+    }
+    (out, rows)
+}
+
+// -------------------------------------------------------------------
+// Fig. 6
+// -------------------------------------------------------------------
+
+/// The case study: two test samples, the first comparing AOI-block
+/// structure against Graph2Route, the second comparing per-sample time
+/// errors against FDNET.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseStudy {
+    /// Rendered report.
+    pub text: String,
+    /// Case 1: AOI transfer counts (truth, M2G4RTP, Graph2Route).
+    pub case1_transfers: (usize, usize, usize),
+    /// Case 2: (RMSE, MAE) for FDNET and M2G4RTP on one sample.
+    pub case2_fdnet: (f64, f64),
+    /// Case 2 M2G4RTP errors.
+    pub case2_m2g: (f64, f64),
+    /// SVG map of case 1 (real vs M2G4RTP vs Graph2Route routes) —
+    /// the reproduction of the paper's Fig. 6 map panels.
+    pub case1_svg: String,
+    /// SVG map of case 2 (real vs M2G4RTP vs FDNET routes).
+    pub case2_svg: String,
+}
+
+/// Counts AOI-boundary crossings along a route.
+fn aoi_switches(sample: &RtpSample, route: &[usize]) -> usize {
+    let order_aoi = sample.query.order_aoi_indices();
+    route.windows(2).filter(|w| order_aoi[w[0]] != order_aoi[w[1]]).count()
+}
+
+/// Builds Fig. 6 from the trained zoo. Requires the zoo to contain
+/// predictors named `Graph2Route`, `FDNET` and `M2G4RTP`.
+pub fn case_study(dataset: &Dataset, zoo: &Zoo) -> CaseStudy {
+    let find = |name: &str| {
+        zoo.predictors
+            .iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| panic!("zoo is missing {name}"))
+    };
+    let g2r = find("Graph2Route");
+    let fdnet = find("FDNET");
+    let m2g = find("M2G4RTP");
+
+    // Case 1: the test sample with the most AOIs (block structure is
+    // most visible there).
+    let case1 = dataset
+        .test
+        .iter()
+        .max_by_key(|s| s.query.distinct_aois().len())
+        .expect("non-empty test split");
+    let p_m2g = m2g.predict(dataset, case1);
+    let p_g2r = g2r.predict(dataset, case1);
+    let truth_sw = aoi_switches(case1, &case1.truth.route);
+    let m2g_sw = aoi_switches(case1, &p_m2g.route);
+    let g2r_sw = aoi_switches(case1, &p_g2r.route);
+
+    // Case 2: the longest test sample (time-error accumulation).
+    let case2 = dataset
+        .test
+        .iter()
+        .max_by_key(|s| s.query.num_locations())
+        .expect("non-empty test split");
+    let p_fd = fdnet.predict(dataset, case2);
+    let p_m2 = m2g.predict(dataset, case2);
+    let fd = (rmse(&p_fd.times, &case2.truth.arrival), mae(&p_fd.times, &case2.truth.arrival));
+    let m2 = (rmse(&p_m2.times, &case2.truth.arrival), mae(&p_m2.times, &case2.truth.arrival));
+
+    let mut text = String::from("Figure 6: Case Study\n\n");
+    text.push_str(&format!(
+        "Case 1 — AOI block structure (sample with {} locations / {} AOIs)\n",
+        case1.query.num_locations(),
+        case1.query.distinct_aois().len()
+    ));
+    text.push_str(&format!("  real route AOI transfers:        {truth_sw}\n"));
+    text.push_str(&format!("  M2G4RTP route AOI transfers:     {m2g_sw}\n"));
+    text.push_str(&format!("  Graph2Route route AOI transfers: {g2r_sw}\n"));
+    text.push_str(&format!(
+        "  route quality: M2G4RTP KRC {:.3} / HR@3 {:.2} | Graph2Route KRC {:.3} / HR@3 {:.2}\n\n",
+        krc(&p_m2g.route, &case1.truth.route),
+        hr_at_k(&p_m2g.route, &case1.truth.route, 3) * 100.0,
+        krc(&p_g2r.route, &case1.truth.route),
+        hr_at_k(&p_g2r.route, &case1.truth.route, 3) * 100.0,
+    ));
+    text.push_str(&format!(
+        "Case 2 — time error accumulation (sample with {} locations)\n",
+        case2.query.num_locations()
+    ));
+    text.push_str(&format!(
+        "  FDNET:   RMSE {:.2}  MAE {:.2}  acc@20 {:.1}\n",
+        fd.0,
+        fd.1,
+        acc_at(&p_fd.times, &case2.truth.arrival, 20.0)
+    ));
+    text.push_str(&format!(
+        "  M2G4RTP: RMSE {:.2}  MAE {:.2}  acc@20 {:.1}\n",
+        m2.0,
+        m2.1,
+        acc_at(&p_m2.times, &case2.truth.arrival, 20.0)
+    ));
+    text.push_str(&format!(
+        "  (route LSD for context: FDNET {:.2}, M2G4RTP {:.2})\n",
+        lsd(&p_fd.route, &case2.truth.route),
+        lsd(&p_m2.route, &case2.truth.route)
+    ));
+    let case1_svg = render_case_svg(
+        &dataset.city,
+        case1,
+        &[
+            (case1.truth.route.clone(), RouteStyle::solid("#333333", "real route")),
+            (p_m2g.route.clone(), RouteStyle::solid("#4e79a7", "M2G4RTP")),
+            (p_g2r.route.clone(), RouteStyle::dashed("#e15759", "Graph2Route")),
+        ],
+    );
+    let case2_svg = render_case_svg(
+        &dataset.city,
+        case2,
+        &[
+            (case2.truth.route.clone(), RouteStyle::solid("#333333", "real route")),
+            (p_m2.route.clone(), RouteStyle::solid("#4e79a7", "M2G4RTP")),
+            (p_fd.route.clone(), RouteStyle::dashed("#f28e2b", "FDNET")),
+        ],
+    );
+    CaseStudy {
+        text,
+        case1_transfers: (truth_sw, m2g_sw, g2r_sw),
+        case2_fdnet: fd,
+        case2_m2g: m2,
+        case1_svg,
+        case2_svg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn fig4_renders_all_panels() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(111)).build();
+        let (text, dist) = fig4_distribution(&d);
+        for panel in ["(a)", "(b)", "(c)", "(d)", "Transfer analysis"] {
+            assert!(text.contains(panel), "missing {panel}");
+        }
+        assert!(dist.avg_location_transfers_per_day > dist.avg_aoi_transfers_per_day);
+    }
+
+    #[test]
+    fn aoi_switches_counts_boundaries() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(112)).build();
+        let s = &d.test[0];
+        // the ground-truth route's switches must be >= m-1
+        let m = s.query.distinct_aois().len();
+        assert!(aoi_switches(s, &s.truth.route) >= m - 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! # rtp-eval
+//!
+//! The experiment harness: trains the full model zoo (M²G4RTP plus the
+//! seven baselines) on the synthetic dataset and regenerates every
+//! table and figure of the paper's evaluation section:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — qualitative method comparison |
+//! | `table3` | Table III — route prediction (HR@3 / KRC / LSD, bucketed) |
+//! | `table4` | Table IV — time prediction (RMSE / MAE / acc@20, bucketed) |
+//! | `table5` | Table V — scalability: complexity + measured inference ms |
+//! | `fig4` | Fig. 4 — data distributions + §V.A transfer analysis |
+//! | `fig5` | Fig. 5 — component analysis (ablations) |
+//! | `fig6` | Fig. 6 — case study |
+//! | `run_all` | everything above, sharing one zoo training |
+//!
+//! Every binary accepts `--quick` (CI-scale) or `--full` (paper-shape
+//! scale, the default) and writes text + JSON artifacts under
+//! `results/`.
+//!
+//! The [`service`] module is the §VI deployment demo: a feature
+//! extraction layer → inference layer → application layer pipeline
+//! serving Intelligent Order Sorting and Minute-Level ETA.
+
+mod experiment;
+mod figures;
+pub mod render;
+pub mod service;
+mod tables;
+
+pub use experiment::{
+    evaluate_method, evaluate_zoo, train_zoo, EvalOutcome, ExperimentConfig, M2gPredictor,
+    MethodEval, Scale, Zoo, M2GPREDICTOR_NAME,
+};
+pub use figures::{ablation_study, case_study, fig4_distribution, AblationRow, CaseStudy};
+pub use tables::{
+    aggregate_rows_with_std, comparison_matrix, route_table, scalability_table, time_table,
+    MethodTimeRow, TableRow,
+};
+
+use std::path::{Path, PathBuf};
+
+/// Resolves the output directory (`results/` next to the workspace
+/// root, creating it if needed).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes `content` to `results/<name>` and echoes the path.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Parses `--seeds N` from argv (default 1): how many independently
+/// seeded trainings to aggregate into mean ± std rows.
+pub fn seeds_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Parses `--quick` / `--full` from argv (default: full).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}

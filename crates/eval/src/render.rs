@@ -1,0 +1,195 @@
+//! SVG rendering of case-study routes (paper Fig. 6 is a map figure:
+//! real vs predicted routes drawn over the AOI layout). The renderer is
+//! dependency-free — it writes plain SVG strings.
+
+use rtp_sim::{City, RtpSample};
+
+/// Styling of one rendered route overlay.
+#[derive(Debug, Clone)]
+pub struct RouteStyle {
+    /// Stroke colour (any SVG colour string).
+    pub color: String,
+    /// Stroke width in pixels.
+    pub width: f32,
+    /// Dash pattern (empty = solid).
+    pub dash: String,
+    /// Legend label.
+    pub label: String,
+}
+
+impl RouteStyle {
+    /// A solid style with the given colour and label.
+    pub fn solid(color: &str, label: &str) -> Self {
+        Self { color: color.to_string(), width: 2.0, dash: String::new(), label: label.to_string() }
+    }
+
+    /// A dashed style with the given colour and label.
+    pub fn dashed(color: &str, label: &str) -> Self {
+        Self { color: color.to_string(), width: 2.0, dash: "6,4".into(), label: label.to_string() }
+    }
+}
+
+/// Renders a case-study sample as an SVG map: AOI circles, location
+/// dots (coloured by AOI), the courier start, and one polyline per
+/// `(route, style)` overlay. Routes are visit sequences over
+/// `sample.query.orders`.
+///
+/// # Panics
+/// Panics if a route is not index-compatible with the sample.
+pub fn render_case_svg(
+    city: &City,
+    sample: &RtpSample,
+    routes: &[(Vec<usize>, RouteStyle)],
+) -> String {
+    let q = &sample.query;
+    let n = q.orders.len();
+    for (route, _) in routes {
+        assert_eq!(route.len(), n, "route length must match the sample");
+    }
+    // bounding box over locations + courier + involved AOI circles
+    let aois = q.distinct_aois();
+    let mut min_x = q.courier_pos.x;
+    let mut max_x = q.courier_pos.x;
+    let mut min_y = q.courier_pos.y;
+    let mut max_y = q.courier_pos.y;
+    let mut extend = |x: f32, y: f32| {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    };
+    for o in &q.orders {
+        extend(o.pos.x, o.pos.y);
+    }
+    for &a in &aois {
+        let aoi = city.aoi(a);
+        extend(aoi.center.x - aoi.radius, aoi.center.y - aoi.radius);
+        extend(aoi.center.x + aoi.radius, aoi.center.y + aoi.radius);
+    }
+    let pad = 0.08 * ((max_x - min_x).max(max_y - min_y)).max(0.2);
+    let (min_x, max_x, min_y, max_y) = (min_x - pad, max_x + pad, min_y - pad, max_y + pad);
+    let (w, h) = (760.0f32, 560.0f32);
+    let legend_h = 22.0 * routes.len() as f32 + 10.0;
+    let sx = w / (max_x - min_x);
+    let sy = (h - legend_h) / (max_y - min_y);
+    let s = sx.min(sy);
+    let px = |x: f32| (x - min_x) * s + 4.0;
+    // SVG y grows downward; flip so north is up
+    let py = |y: f32| (max_y - y) * s + 4.0 + legend_h;
+
+    let palette = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948",
+        "#9c755f", "#bab0ac", "#d37295"];
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    ));
+    // AOI circles
+    for (k, &a) in aois.iter().enumerate() {
+        let aoi = city.aoi(a);
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"{}\" fill-opacity=\"0.12\" \
+             stroke=\"{}\" stroke-opacity=\"0.5\"/>\n",
+            px(aoi.center.x),
+            py(aoi.center.y),
+            aoi.radius * s,
+            palette[k % palette.len()],
+            palette[k % palette.len()],
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{}\" font-weight=\"bold\">AOI {}</text>\n",
+            px(aoi.center.x) + aoi.radius * s + 3.0,
+            py(aoi.center.y),
+            palette[k % palette.len()],
+            a
+        ));
+    }
+    // route polylines
+    let loc_to_aoi = q.order_aoi_indices();
+    for (route, style) in routes {
+        let mut points = format!("{:.1},{:.1}", px(q.courier_pos.x), py(q.courier_pos.y));
+        for &i in route {
+            points.push_str(&format!(" {:.1},{:.1}", px(q.orders[i].pos.x), py(q.orders[i].pos.y)));
+        }
+        svg.push_str(&format!(
+            "<polyline points=\"{points}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\" \
+             stroke-dasharray=\"{}\" stroke-opacity=\"0.85\"/>\n",
+            style.color, style.width, style.dash
+        ));
+    }
+    // location dots on top, coloured by AOI
+    for (i, o) in q.orders.iter().enumerate() {
+        let c = palette[loc_to_aoi[i] % palette.len()];
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{c}\" stroke=\"black\" \
+             stroke-width=\"0.6\"/>\n",
+            px(o.pos.x),
+            py(o.pos.y)
+        ));
+    }
+    // courier start marker
+    svg.push_str(&format!(
+        "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"9\" height=\"9\" fill=\"black\"/>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\">courier</text>\n",
+        px(q.courier_pos.x) - 4.5,
+        py(q.courier_pos.y) - 4.5,
+        px(q.courier_pos.x) + 8.0,
+        py(q.courier_pos.y) - 6.0
+    ));
+    // legend
+    for (k, (_, style)) in routes.iter().enumerate() {
+        let y = 18.0 + 22.0 * k as f32;
+        svg.push_str(&format!(
+            "<line x1=\"12\" y1=\"{y}\" x2=\"52\" y2=\"{y}\" stroke=\"{}\" stroke-width=\"{}\" \
+             stroke-dasharray=\"{}\"/>\n<text x=\"60\" y=\"{:.1}\">{}</text>\n",
+            style.color,
+            style.width,
+            style.dash,
+            y + 4.0,
+            style.label
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn svg_contains_all_structural_elements() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(131)).build();
+        let s = &d.test[0];
+        let truth = s.truth.route.clone();
+        let mut other = truth.clone();
+        other.reverse();
+        let svg = render_case_svg(
+            &d.city,
+            s,
+            &[
+                (truth, RouteStyle::solid("#333333", "real route")),
+                (other, RouteStyle::dashed("#e15759", "predicted")),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2, "one polyline per route");
+        assert!(svg.matches("<circle").count() >= s.query.num_locations(), "location dots");
+        assert!(svg.contains("courier"));
+        assert!(svg.contains("real route"));
+        assert!(svg.contains("predicted"));
+        // every coordinate is finite (no NaN leaked into the document)
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "route length must match")]
+    fn svg_rejects_incompatible_routes() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(132)).build();
+        let s = &d.test[0];
+        render_case_svg(&d.city, s, &[(vec![0], RouteStyle::solid("red", "bad"))]);
+    }
+}

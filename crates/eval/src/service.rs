@@ -1,0 +1,128 @@
+//! The §VI deployment pipeline, reproduced in-process: a **Feature
+//! Extraction Layer** (query → multi-level graph, the paper's Graph
+//! Builder with its distance tool), an **Inference Layer** (the trained
+//! M²G4RTP service module) and an **Application Layer** with the two
+//! launched products — Intelligent Order Sorting for couriers and
+//! Minute-Level ETA push messages for users.
+
+use m2g4rtp::M2G4Rtp;
+use rtp_sim::{City, Courier, RtpQuery};
+use serde::{Deserialize, Serialize};
+
+/// An ETA push message of the Minute-Level ETA service (Fig. 8b).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EtaMessage {
+    /// Index of the order in the query.
+    pub order_index: usize,
+    /// Predicted arrival gap from "now", minutes.
+    pub eta_minutes: f32,
+    /// How many stops away the courier is.
+    pub stops_away: usize,
+    /// The user-facing message body.
+    pub text: String,
+}
+
+/// The response of one RTP request through the deployed pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceResponse {
+    /// Intelligent Order Sorting (Fig. 8a): order indices in the
+    /// predicted service sequence.
+    pub sorted_orders: Vec<usize>,
+    /// Predicted AOI visit sequence (indices into the query's distinct
+    /// AOI list).
+    pub aoi_sequence: Vec<usize>,
+    /// One ETA message per order.
+    pub etas: Vec<EtaMessage>,
+    /// End-to-end handling latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The in-process RTP inference service.
+pub struct RtpService {
+    model: M2G4Rtp,
+}
+
+impl RtpService {
+    /// Wraps a trained model (it must have its feature pipeline
+    /// attached, which [`m2g4rtp::Trainer::fit`] does).
+    ///
+    /// # Panics
+    /// Panics if the model has no pipeline.
+    pub fn new(model: M2G4Rtp) -> Self {
+        assert!(model.has_pipeline(), "service needs a trained model with a pipeline");
+        Self { model }
+    }
+
+    /// Handles one RTP request end to end.
+    pub fn handle(&self, city: &City, courier: &Courier, query: &RtpQuery) -> ServiceResponse {
+        let t0 = std::time::Instant::now();
+        // Feature Extraction Layer
+        let graph = self.model.build_graph(city, courier, query);
+        // Inference Layer
+        let prediction = self.model.predict(&graph);
+        // Application Layer
+        let sorted_orders = prediction.route.clone();
+        let mut stops_away = vec![0usize; query.orders.len()];
+        for (pos, &i) in prediction.route.iter().enumerate() {
+            stops_away[i] = pos + 1;
+        }
+        let etas = (0..query.orders.len())
+            .map(|i| {
+                let eta = prediction.times[i];
+                EtaMessage {
+                    order_index: i,
+                    eta_minutes: eta,
+                    stops_away: stops_away[i],
+                    text: format!(
+                        "Your courier is {} stop(s) away and is expected in about {} minutes.",
+                        stops_away[i],
+                        eta.round() as i64
+                    ),
+                }
+            })
+            .collect();
+        ServiceResponse {
+            sorted_orders,
+            aoi_sequence: prediction.aoi_route,
+            etas,
+            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2g4rtp::{ModelConfig, TrainConfig, Trainer};
+    use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn service_serves_sorted_orders_and_etas() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(121)).build();
+        let mut cfg = ModelConfig::for_dataset(&d);
+        cfg.d_loc = 16;
+        cfg.d_aoi = 16;
+        cfg.n_heads = 2;
+        cfg.n_layers = 1;
+        let mut model = m2g4rtp::M2G4Rtp::new(cfg, 1);
+        Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &d);
+        let service = RtpService::new(model);
+        let s = &d.test[0];
+        let courier = &d.couriers[s.query.courier_id];
+        let resp = service.handle(&d.city, courier, &s.query);
+        assert_eq!(resp.sorted_orders.len(), s.query.num_locations());
+        assert_eq!(resp.etas.len(), s.query.num_locations());
+        assert!(resp.latency_ms > 0.0);
+        for e in &resp.etas {
+            assert!(e.eta_minutes >= 0.0);
+            assert!(e.stops_away >= 1 && e.stops_away <= s.query.num_locations());
+            assert!(e.text.contains("minutes"));
+        }
+        // sorted orders are a permutation
+        let mut seen = vec![false; s.query.num_locations()];
+        for &i in &resp.sorted_orders {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+}

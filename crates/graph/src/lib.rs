@@ -1,0 +1,42 @@
+//! # rtp-graph
+//!
+//! Multi-level graph construction for M²G4RTP (paper §III Definition 3
+//! and §IV-B): turns an [`rtp_sim::RtpQuery`] into the location graph
+//! `G^l`, the AOI graph `G^a`, the location→AOI membership edges
+//! `E^{la}`, and the global feature vector `x^g`.
+//!
+//! * Node features follow Eqs. 12–13 (geo, distance-from-courier,
+//!   AOI id/type, deadlines).
+//! * Edge features follow Eqs. 14–16 (distance, deadline gap,
+//!   connectivity), with connectivity defined as the union of k-nearest
+//!   **spatial** neighbours, k-nearest **temporal** neighbours (by
+//!   deadline gap) and self-loops (Eq. 15). The paper leaves direction
+//!   ambiguous; we symmetrise (i~j if either is a k-NN of the other) so
+//!   attention can flow both ways.
+//! * Global features follow Eq. 17 (courier working hours / speed /
+//!   attendance, weather, weekday).
+//!
+//! Continuous features are standardised by a [`FeatureScaler`] fitted on
+//! the training split only — fitting on val/test would leak.
+
+mod builder;
+mod scaler;
+
+pub use builder::{GraphBuilder, GraphConfig, GlobalFeatures, LevelGraph, MultiLevelGraph};
+pub use scaler::FeatureScaler;
+
+/// Continuous feature width of a location node: x, y, distance to
+/// courier, deadline − t, t − accept time.
+pub const LOC_CONT_DIM: usize = 5;
+
+/// Continuous feature width of an AOI node: centre x, y, distance to
+/// courier, earliest deadline − t, number of member locations.
+pub const AOI_CONT_DIM: usize = 5;
+
+/// Edge feature width at both levels: distance, deadline gap,
+/// connectivity flag (Eqs. 14/16).
+pub const EDGE_DIM: usize = 3;
+
+/// Continuous global feature width: working hours, speed, attendance,
+/// normalised time-of-day.
+pub const GLOBAL_CONT_DIM: usize = 4;

@@ -1,0 +1,395 @@
+//! # rtp-metrics
+//!
+//! Evaluation metrics of the M²G4RTP paper (§V.C):
+//!
+//! * Route prediction — [`hr_at_k`] (Eq. 42), [`krc`] (Kendall Rank
+//!   Correlation, Eq. 43), [`lsd`] (Location Square Deviation, Eq. 44).
+//! * Time prediction — [`rmse`], [`mae`], [`acc_at`] (accuracy within a
+//!   tolerance, the paper uses 20 minutes), Eq. 45.
+//!
+//! Plus the bucketed accumulators ([`RouteMetricAccumulator`],
+//! [`TimeMetricAccumulator`], [`Bucket`]) Tables III/IV aggregate with:
+//! the paper reports each metric for `n ∈ (3,10]`, `n ∈ (10,20]` and
+//! `all`.
+//!
+//! Route arguments are *visit sequences*: `route[j] = i` means item `i`
+//! is served at step `j` — the same convention as `rtp_sim::GroundTruth`.
+
+use serde::{Deserialize, Serialize};
+
+/// HR@k (Eq. 42): fraction of the first `k` predicted items that appear
+/// among the first `k` items of the label.
+///
+/// If the route is shorter than `k`, the effective k is the route length
+/// (the paper evaluates HR@3 on routes with n ≥ 4, so this is a guard,
+/// not a behaviour change).
+///
+/// # Panics
+/// Panics if the sequences have different lengths or are empty.
+pub fn hr_at_k(pred: &[usize], label: &[usize], k: usize) -> f64 {
+    assert_eq!(pred.len(), label.len(), "route length mismatch");
+    assert!(!pred.is_empty(), "empty route");
+    let k = k.min(pred.len());
+    let hits = pred[..k].iter().filter(|i| label[..k].contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Kendall Rank Correlation (Eq. 43): concordant minus discordant pairs
+/// over all pairs, comparing the predicted visit order against the label
+/// order. 1.0 = identical order, -1.0 = reversed.
+///
+/// # Panics
+/// Panics if the sequences have different lengths.
+pub fn krc(pred: &[usize], label: &[usize]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "route length mismatch");
+    let n = pred.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let pred_rank = ranks_of(pred);
+    let label_rank = ranks_of(label);
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dp = pred_rank[i] as i64 - pred_rank[j] as i64;
+            let dl = label_rank[i] as i64 - label_rank[j] as i64;
+            if dp * dl > 0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (concordant + discordant) as f64
+}
+
+/// Location Square Deviation (Eq. 44): mean squared difference between
+/// each item's predicted and labelled route position.
+///
+/// # Panics
+/// Panics if the sequences have different lengths or are empty.
+pub fn lsd(pred: &[usize], label: &[usize]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "route length mismatch");
+    assert!(!pred.is_empty(), "empty route");
+    let pred_rank = ranks_of(pred);
+    let label_rank = ranks_of(label);
+    let n = pred.len();
+    (0..n)
+        .map(|i| {
+            let d = pred_rank[i] as f64 - label_rank[i] as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Converts a visit sequence into per-item ranks:
+/// `ranks[i] = position of item i in the route`.
+///
+/// # Panics
+/// Panics if `route` is not a permutation of `0..len`.
+pub fn ranks_of(route: &[usize]) -> Vec<usize> {
+    let mut ranks = vec![usize::MAX; route.len()];
+    for (pos, &item) in route.iter().enumerate() {
+        assert!(item < route.len(), "route item {item} out of range");
+        assert_eq!(ranks[item], usize::MAX, "duplicate item {item} in route");
+        ranks[item] = pos;
+    }
+    ranks
+}
+
+/// Root Mean Square Error over paired predictions (Eq. 45).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn rmse(pred: &[f32], label: &[f32]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "time vector length mismatch");
+    assert!(!pred.is_empty(), "empty time vectors");
+    let s: f64 = pred
+        .iter()
+        .zip(label)
+        .map(|(p, y)| {
+            let d = (*p - *y) as f64;
+            d * d
+        })
+        .sum();
+    (s / pred.len() as f64).sqrt()
+}
+
+/// Mean Absolute Error (Eq. 45).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f32], label: &[f32]) -> f64 {
+    assert_eq!(pred.len(), label.len(), "time vector length mismatch");
+    assert!(!pred.is_empty(), "empty time vectors");
+    pred.iter().zip(label).map(|(p, y)| (*p - *y).abs() as f64).sum::<f64>() / pred.len() as f64
+}
+
+/// acc@tol (Eq. 45): percentage of predictions whose absolute error is
+/// strictly within `tol`. The paper reports acc@20 (minutes), in percent.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn acc_at(pred: &[f32], label: &[f32], tol: f32) -> f64 {
+    assert_eq!(pred.len(), label.len(), "time vector length mismatch");
+    assert!(!pred.is_empty(), "empty time vectors");
+    let hits = pred.iter().zip(label).filter(|(p, y)| (**p - **y).abs() < tol).count();
+    hits as f64 / pred.len() as f64 * 100.0
+}
+
+/// The size buckets of Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bucket {
+    /// `n ∈ (3, 10]`.
+    Short,
+    /// `n ∈ (10, 20]`.
+    Long,
+    /// Every sample.
+    All,
+}
+
+impl Bucket {
+    /// The buckets in table-column order.
+    pub const ALL: [Bucket; 3] = [Bucket::Short, Bucket::Long, Bucket::All];
+
+    /// Whether a sample with `n` locations belongs to this bucket.
+    pub fn contains(self, n: usize) -> bool {
+        match self {
+            Bucket::Short => n > 3 && n <= 10,
+            Bucket::Long => n > 10 && n <= 20,
+            Bucket::All => true,
+        }
+    }
+
+    /// Column header used by the printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Short => "n in (3-10]",
+            Bucket::Long => "n in (10-20]",
+            Bucket::All => "all",
+        }
+    }
+}
+
+/// Route metrics of one bucket, averaged over samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteMetrics {
+    /// HR@3 in percent (paper prints e.g. 74.46).
+    pub hr3: f64,
+    /// Kendall rank correlation.
+    pub krc: f64,
+    /// Location square deviation.
+    pub lsd: f64,
+    /// Samples aggregated.
+    pub count: usize,
+}
+
+/// Time metrics of one bucket. RMSE/MAE are computed over the pooled
+/// per-location errors (matching Eq. 45, which sums over locations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeMetrics {
+    /// Root mean squared error, minutes.
+    pub rmse: f64,
+    /// Mean absolute error, minutes.
+    pub mae: f64,
+    /// acc@20 in percent.
+    pub acc20: f64,
+    /// Locations aggregated.
+    pub count: usize,
+}
+
+/// Accumulates per-sample route metrics into the three buckets.
+#[derive(Debug, Clone, Default)]
+pub struct RouteMetricAccumulator {
+    sums: [(f64, f64, f64, usize); 3],
+}
+
+impl RouteMetricAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample's predicted and labelled route.
+    pub fn add(&mut self, pred: &[usize], label: &[usize]) {
+        let h = hr_at_k(pred, label, 3);
+        let k = krc(pred, label);
+        let l = lsd(pred, label);
+        let n = pred.len();
+        for (b, bucket) in Bucket::ALL.iter().enumerate() {
+            if bucket.contains(n) {
+                self.sums[b].0 += h;
+                self.sums[b].1 += k;
+                self.sums[b].2 += l;
+                self.sums[b].3 += 1;
+            }
+        }
+    }
+
+    /// Averaged metrics for a bucket (`None` if it saw no samples).
+    pub fn finish(&self, bucket: Bucket) -> Option<RouteMetrics> {
+        let b = Bucket::ALL.iter().position(|x| *x == bucket).expect("valid bucket");
+        let (h, k, l, c) = self.sums[b];
+        if c == 0 {
+            return None;
+        }
+        Some(RouteMetrics { hr3: h / c as f64 * 100.0, krc: k / c as f64, lsd: l / c as f64, count: c })
+    }
+}
+
+/// Accumulates per-location time errors into the three buckets.
+#[derive(Debug, Clone, Default)]
+pub struct TimeMetricAccumulator {
+    // (sum squared error, sum abs error, hits within 20, count)
+    sums: [(f64, f64, usize, usize); 3],
+}
+
+impl TimeMetricAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample's predicted and labelled arrival gaps (aligned by
+    /// location index). `n` is the sample's location count, deciding its
+    /// bucket.
+    pub fn add(&mut self, pred: &[f32], label: &[f32], n: usize) {
+        assert_eq!(pred.len(), label.len(), "time vector length mismatch");
+        for (b, bucket) in Bucket::ALL.iter().enumerate() {
+            if bucket.contains(n) {
+                for (p, y) in pred.iter().zip(label) {
+                    let d = (*p - *y) as f64;
+                    self.sums[b].0 += d * d;
+                    self.sums[b].1 += d.abs();
+                    if d.abs() < 20.0 {
+                        self.sums[b].2 += 1;
+                    }
+                    self.sums[b].3 += 1;
+                }
+            }
+        }
+    }
+
+    /// Pooled metrics for a bucket (`None` if it saw no locations).
+    pub fn finish(&self, bucket: Bucket) -> Option<TimeMetrics> {
+        let b = Bucket::ALL.iter().position(|x| *x == bucket).expect("valid bucket");
+        let (sq, ab, hits, c) = self.sums[b];
+        if c == 0 {
+            return None;
+        }
+        Some(TimeMetrics {
+            rmse: (sq / c as f64).sqrt(),
+            mae: ab / c as f64,
+            acc20: hits as f64 / c as f64 * 100.0,
+            count: c,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hr_at_k_perfect_and_disjoint() {
+        assert_eq!(hr_at_k(&[0, 1, 2, 3], &[0, 1, 2, 3], 3), 1.0);
+        // top-3 of pred = {0,1,2}; label top-3 = {3,2,1} -> 2 hits
+        assert_eq!(hr_at_k(&[0, 1, 2, 3], &[3, 2, 1, 0], 3), 2.0 / 3.0);
+        // completely disjoint top-k
+        assert_eq!(hr_at_k(&[0, 1, 2, 3, 4, 5], &[3, 4, 5, 0, 1, 2], 3), 0.0);
+    }
+
+    #[test]
+    fn hr_is_order_insensitive_within_topk() {
+        // HR@k is a set metric over the first k items.
+        assert_eq!(hr_at_k(&[2, 1, 0, 3], &[0, 1, 2, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn krc_extremes_and_midpoint() {
+        assert_eq!(krc(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        assert_eq!(krc(&[3, 2, 1, 0], &[0, 1, 2, 3]), -1.0);
+        // single swap of adjacent ranks flips 1 of 6 pairs: (5-1)/6
+        let v = krc(&[1, 0, 2, 3], &[0, 1, 2, 3]);
+        assert!((v - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn krc_singleton_is_one() {
+        assert_eq!(krc(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn lsd_zero_and_known_value() {
+        assert_eq!(lsd(&[0, 1, 2], &[0, 1, 2]), 0.0);
+        // reversed 3-route: ranks (2,1,0) vs (0,1,2) -> (4+0+4)/3
+        assert!((lsd(&[2, 1, 0], &[0, 1, 2]) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_metrics_known_values() {
+        let p = [10.0f32, 20.0, 50.0];
+        let y = [12.0f32, 10.0, 80.0];
+        assert!((mae(&p, &y) - (2.0 + 10.0 + 30.0) / 3.0).abs() < 1e-9);
+        let expect_rmse = ((4.0 + 100.0 + 900.0f64) / 3.0).sqrt();
+        assert!((rmse(&p, &y) - expect_rmse).abs() < 1e-9);
+        assert!((acc_at(&p, &y, 20.0) - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_tolerance_is_strict() {
+        assert_eq!(acc_at(&[0.0], &[20.0], 20.0), 0.0, "|err| == tol must not count");
+        assert_eq!(acc_at(&[0.0], &[19.99], 20.0), 100.0);
+    }
+
+    #[test]
+    fn buckets_partition_correctly() {
+        assert!(!Bucket::Short.contains(3));
+        assert!(Bucket::Short.contains(4));
+        assert!(Bucket::Short.contains(10));
+        assert!(!Bucket::Short.contains(11));
+        assert!(Bucket::Long.contains(11));
+        assert!(Bucket::Long.contains(20));
+        assert!(!Bucket::Long.contains(21));
+        assert!(Bucket::All.contains(3) && Bucket::All.contains(21));
+    }
+
+    #[test]
+    fn route_accumulator_buckets_and_averages() {
+        let mut acc = RouteMetricAccumulator::new();
+        acc.add(&[0, 1, 2, 3], &[0, 1, 2, 3]); // short, perfect
+        acc.add(
+            &[10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        ); // long, reversed
+        let short = acc.finish(Bucket::Short).unwrap();
+        assert_eq!(short.count, 1);
+        assert_eq!(short.hr3, 100.0);
+        assert_eq!(short.krc, 1.0);
+        let long = acc.finish(Bucket::Long).unwrap();
+        assert_eq!(long.count, 1);
+        assert_eq!(long.krc, -1.0);
+        let all = acc.finish(Bucket::All).unwrap();
+        assert_eq!(all.count, 2);
+        assert!((all.krc - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_accumulator_pools_locations() {
+        let mut acc = TimeMetricAccumulator::new();
+        acc.add(&[10.0, 10.0], &[10.0, 40.0], 5); // short sample, errors 0 and 30
+        let short = acc.finish(Bucket::Short).unwrap();
+        assert_eq!(short.count, 2);
+        assert!((short.mae - 15.0).abs() < 1e-9);
+        assert!((short.acc20 - 50.0).abs() < 1e-9);
+        assert!(acc.finish(Bucket::Long).is_none(), "no long samples seen");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        krc(&[0, 1], &[0, 1, 2]);
+    }
+}

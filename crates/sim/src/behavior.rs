@@ -1,0 +1,344 @@
+//! Courier behaviour simulation: turns an [`RtpQuery`] into the
+//! ground-truth route and arrival times that real logs would record.
+//!
+//! The generative process realises the paper's three motivating
+//! observations (§I): couriers serve AOIs as blocks, AOI order follows a
+//! courier-specific *habit* blended with distance and deadline pressure,
+//! and times are the physical consequence of the chosen route.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::city::City;
+use crate::types::{Courier, GroundTruth, Point, RtpQuery};
+
+/// Tunable parameters of the simulated decision process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Weight of the courier's habit score when choosing the next AOI.
+    pub habit_weight: f32,
+    /// Penalty per km of distance to an AOI centre.
+    pub distance_weight: f32,
+    /// Bonus for deadline urgency (scaled slack).
+    pub urgency_weight: f32,
+    /// Gumbel noise scale on AOI choice (0 = fully deterministic).
+    pub decision_noise: f32,
+    /// Probability of picking the nearest remaining location inside an
+    /// AOI (otherwise a random remaining one).
+    pub nn_prob: f64,
+    /// Probability, after each served location, of leaving an AOI before
+    /// finishing it (produces the rare block-breaking the paper's
+    /// transfer statistics imply).
+    pub block_break_prob: f64,
+    /// Multiplicative noise sigma on service times (lognormal-ish).
+    pub service_noise: f32,
+    /// Multiplicative noise sigma on travel times (congestion).
+    pub congestion_noise: f32,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        Self {
+            habit_weight: 3.0,
+            distance_weight: 1.1,
+            urgency_weight: 0.8,
+            decision_noise: 0.35,
+            nn_prob: 0.85,
+            block_break_prob: 0.04,
+            service_noise: 0.25,
+            congestion_noise: 0.18,
+        }
+    }
+}
+
+/// Simulates courier behaviour against a fixed city.
+#[derive(Debug, Clone)]
+pub struct BehaviorSim<'a> {
+    city: &'a City,
+    config: BehaviorConfig,
+}
+
+impl<'a> BehaviorSim<'a> {
+    /// Creates a simulator over `city` with the given behaviour knobs.
+    pub fn new(city: &'a City, config: BehaviorConfig) -> Self {
+        Self { city, config }
+    }
+
+    /// The behaviour configuration in use.
+    pub fn config(&self) -> &BehaviorConfig {
+        &self.config
+    }
+
+    /// Simulates the ground-truth route and arrival times for `query`.
+    ///
+    /// # Panics
+    /// Panics if the query has no orders.
+    pub fn simulate(&self, query: &RtpQuery, courier: &Courier, rng: &mut StdRng) -> GroundTruth {
+        assert!(!query.orders.is_empty(), "cannot simulate an empty query");
+        let cfg = &self.config;
+        let n = query.orders.len();
+        let aois = query.distinct_aois();
+        let order_aoi = query.order_aoi_indices();
+
+        let mut remaining: Vec<Vec<usize>> = vec![Vec::new(); aois.len()];
+        for (i, &a) in order_aoi.iter().enumerate() {
+            remaining[a].push(i);
+        }
+
+        let speed_kmh = courier.speed_kmh * query.weather.speed_factor();
+        let min_per_km = 60.0 / speed_kmh;
+
+        let mut pos = query.courier_pos;
+        let mut clock = 0.0f32; // minutes since query.time
+        let mut route = Vec::with_capacity(n);
+        let mut arrival = vec![0.0f32; n];
+        let mut aoi_route: Vec<usize> = Vec::new();
+        let mut aoi_arrival = vec![f32::NAN; aois.len()];
+        let mut left = n;
+
+        while left > 0 {
+            let a = self.pick_aoi(query, courier, &aois, &remaining, &pos, clock, rng);
+            // Serve locations in AOI `a` until it is empty or the courier
+            // (rarely) breaks the block.
+            loop {
+                let locs = &mut remaining[a];
+                if locs.is_empty() {
+                    break;
+                }
+                let pick = if rng.gen_bool(cfg.nn_prob) {
+                    // nearest remaining in this AOI
+                    let (k, _) = locs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &i)| (k, query.orders[i].pos.dist(&pos)))
+                        .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                        .expect("non-empty");
+                    k
+                } else {
+                    rng.gen_range(0..locs.len())
+                };
+                let i = locs.swap_remove(pick);
+                let order = &query.orders[i];
+                let travel = order.pos.dist(&pos) * min_per_km * noise_factor(rng, cfg.congestion_noise);
+                clock += travel;
+                arrival[i] = clock;
+                if aoi_arrival[a].is_nan() {
+                    aoi_arrival[a] = clock;
+                    aoi_route.push(a);
+                }
+                let base = self.city.aoi(query.orders[i].aoi_id).kind.base_service_min();
+                clock += base * noise_factor(rng, cfg.service_noise);
+                pos = order.pos;
+                route.push(i);
+                left -= 1;
+
+                let others_left = remaining.iter().enumerate().any(|(k, v)| k != a && !v.is_empty());
+                if others_left && !remaining[a].is_empty() && rng.gen_bool(cfg.block_break_prob) {
+                    break; // block-breaking: leave before finishing
+                }
+            }
+        }
+        debug_assert!(aoi_arrival.iter().all(|t| !t.is_nan()));
+        GroundTruth { route, arrival, aoi_route, aoi_arrival }
+    }
+
+    /// Scores candidate AOIs and picks the next one (argmax of
+    /// habit − distance − slack + Gumbel noise). Only AOIs with remaining
+    /// locations are candidates.
+    #[allow(clippy::too_many_arguments)] // internal scorer; grouping adds indirection only
+    fn pick_aoi(
+        &self,
+        query: &RtpQuery,
+        courier: &Courier,
+        aois: &[usize],
+        remaining: &[Vec<usize>],
+        pos: &Point,
+        clock: f32,
+        rng: &mut StdRng,
+    ) -> usize {
+        let cfg = &self.config;
+        let mut best = usize::MAX;
+        let mut best_score = f32::NEG_INFINITY;
+        for (k, aoi_id) in aois.iter().enumerate() {
+            if remaining[k].is_empty() {
+                continue;
+            }
+            let aoi = self.city.aoi(*aoi_id);
+            let habit = courier.habit_score(*aoi_id);
+            let dist = aoi.center.dist(pos);
+            // earliest remaining deadline in the AOI, as slack from "now"
+            let slack = remaining[k]
+                .iter()
+                .map(|&i| query.orders[i].deadline - query.time - clock)
+                .fold(f32::MAX, f32::min);
+            let urgency = 1.0 - (slack / 120.0).clamp(0.0, 1.0);
+            let noise = gumbel(rng) * cfg.decision_noise;
+            let score = cfg.habit_weight * habit - cfg.distance_weight * dist
+                + cfg.urgency_weight * urgency
+                + noise;
+            if score > best_score {
+                best_score = score;
+                best = k;
+            }
+        }
+        assert_ne!(best, usize::MAX, "pick_aoi called with nothing remaining");
+        best
+    }
+}
+
+/// Multiplicative noise centred at 1: exp(sigma * N(0,1)), clamped to
+/// avoid pathological draws.
+fn noise_factor(rng: &mut StdRng, sigma: f32) -> f32 {
+    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    (sigma * z).exp().clamp(0.4, 2.5)
+}
+
+/// Standard Gumbel noise (argmax with Gumbel = sampling from a softmax).
+fn gumbel(rng: &mut StdRng) -> f32 {
+    let u: f32 = rng.gen_range(1e-6..1.0f32);
+    -(-u.ln()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{City, CityConfig};
+    use crate::types::{Order, Weather};
+    use rand::SeedableRng;
+
+    fn setup() -> (City, Vec<Courier>) {
+        let city = City::generate(&CityConfig { n_aois: 40, ..CityConfig::default() });
+        let couriers = city.generate_couriers(4, 12, 99);
+        (city, couriers)
+    }
+
+    fn mk_query(city: &City, courier: &Courier, n_per_aoi: &[usize], rng: &mut StdRng) -> RtpQuery {
+        let mut orders = Vec::new();
+        for (k, &cnt) in n_per_aoi.iter().enumerate() {
+            let aoi = city.aoi(courier.territory[k]);
+            for _ in 0..cnt {
+                let dx = rng.gen_range(-aoi.radius..aoi.radius);
+                let dy = rng.gen_range(-aoi.radius..aoi.radius);
+                orders.push(Order {
+                    pos: Point { x: aoi.center.x + dx, y: aoi.center.y + dy },
+                    aoi_id: aoi.id,
+                    deadline: 600.0 + rng.gen_range(30.0..180.0),
+                    accept_time: 540.0,
+                });
+            }
+        }
+        RtpQuery {
+            courier_id: courier.id,
+            time: 600.0,
+            courier_pos: city.aoi(courier.territory[0]).center,
+            orders,
+            weather: Weather::Sunny,
+            weekday: 2,
+        }
+    }
+
+    #[test]
+    fn route_is_a_permutation_and_times_follow_route() {
+        let (city, couriers) = setup();
+        let sim = BehaviorSim::new(&city, BehaviorConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = mk_query(&city, &couriers[0], &[3, 2, 2], &mut rng);
+        let t = sim.simulate(&q, &couriers[0], &mut rng);
+        // permutation
+        let mut seen = vec![false; q.orders.len()];
+        for &i in &t.route {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // arrival times strictly increase along the route
+        for w in t.route.windows(2) {
+            assert!(t.arrival[w[1]] > t.arrival[w[0]], "times must increase along route");
+        }
+        // AOI arrival equals first-location arrival in that AOI (Def. 5)
+        let order_aoi = q.order_aoi_indices();
+        for (j, &a) in t.aoi_route.iter().enumerate() {
+            let first = t
+                .route
+                .iter()
+                .find(|&&i| order_aoi[i] == a)
+                .copied()
+                .expect("AOI has locations");
+            assert_eq!(t.aoi_arrival[a], t.arrival[first], "AOI {j} arrival mismatch");
+        }
+    }
+
+    #[test]
+    fn blocks_are_mostly_contiguous() {
+        // With default block_break_prob, the number of AOI switches along
+        // the route should be close to the number of distinct AOIs.
+        let (city, couriers) = setup();
+        let sim = BehaviorSim::new(&city, BehaviorConfig::default());
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut switches = 0usize;
+        let mut aoi_count = 0usize;
+        for rep in 0..50 {
+            let c = &couriers[rep % couriers.len()];
+            let q = mk_query(&city, c, &[3, 3, 2, 2], &mut rng);
+            let t = sim.simulate(&q, c, &mut rng);
+            let order_aoi = q.order_aoi_indices();
+            for w in t.route.windows(2) {
+                if order_aoi[w[0]] != order_aoi[w[1]] {
+                    switches += 1;
+                }
+            }
+            aoi_count += q.distinct_aois().len() - 1;
+        }
+        let ratio = switches as f32 / aoi_count as f32;
+        assert!(
+            (1.0..1.5).contains(&ratio),
+            "AOI transfers per route should be near m-1 (block structure), got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn habit_dominates_aoi_order_when_noise_is_zero() {
+        let (city, couriers) = setup();
+        let cfg = BehaviorConfig {
+            habit_weight: 100.0,
+            distance_weight: 0.0,
+            urgency_weight: 0.0,
+            decision_noise: 0.0,
+            block_break_prob: 0.0,
+            ..BehaviorConfig::default()
+        };
+        let sim = BehaviorSim::new(&city, cfg);
+        let c = &couriers[1];
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = mk_query(&city, c, &[2, 2, 2], &mut rng);
+        let t = sim.simulate(&q, c, &mut rng);
+        let aois = q.distinct_aois();
+        // visited strictly by descending habit score
+        let scores: Vec<f32> = t.aoi_route.iter().map(|&k| c.habit_score(aois[k])).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] > w[1], "habit order violated: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn storm_weather_slows_arrivals() {
+        let (city, couriers) = setup();
+        let cfg = BehaviorConfig { decision_noise: 0.0, congestion_noise: 0.0, service_noise: 0.0, ..Default::default() };
+        let sim = BehaviorSim::new(&city, cfg);
+        let c = &couriers[2];
+        let mut rng = StdRng::seed_from_u64(11);
+        let q_sunny = mk_query(&city, c, &[3, 3], &mut rng);
+        let mut q_storm = q_sunny.clone();
+        q_storm.weather = Weather::Storm;
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let t_sunny = sim.simulate(&q_sunny, c, &mut r1);
+        let t_storm = sim.simulate(&q_storm, c, &mut r2);
+        let last_sunny = t_sunny.arrival.iter().cloned().fold(0.0f32, f32::max);
+        let last_storm = t_storm.arrival.iter().cloned().fold(0.0f32, f32::max);
+        assert!(last_storm > last_sunny, "storm must delay the route end");
+    }
+}

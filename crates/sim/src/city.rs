@@ -1,0 +1,223 @@
+//! City generation: a clustered spatial process that places AOIs into
+//! districts, mirroring how real AOIs (compounds, malls, office towers)
+//! agglomerate along a road network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Aoi, AoiType, Courier, Point};
+
+/// Parameters of the synthetic city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Side length of the square city extent, km.
+    pub extent_km: f32,
+    /// Number of districts (cluster centres) AOIs agglomerate around.
+    pub n_districts: usize,
+    /// Total number of AOIs.
+    pub n_aois: usize,
+    /// Standard deviation of AOI scatter around a district centre, km.
+    pub district_sigma_km: f32,
+    /// AOI radius range, km.
+    pub aoi_radius_km: (f32, f32),
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            extent_km: 12.0,
+            n_districts: 12,
+            n_aois: 320,
+            district_sigma_km: 0.9,
+            aoi_radius_km: (0.06, 0.22),
+        }
+    }
+}
+
+/// The generated city: a set of AOIs on a planar extent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// All AOIs, indexed by `Aoi::id`.
+    pub aois: Vec<Aoi>,
+    /// Side length of the square extent, km.
+    pub extent_km: f32,
+}
+
+impl City {
+    /// Generates a city from the config (deterministic in the seed).
+    pub fn generate(config: &CityConfig) -> Self {
+        assert!(config.n_aois >= 1, "city needs at least one AOI");
+        assert!(config.n_districts >= 1, "city needs at least one district");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let centres: Vec<Point> = (0..config.n_districts)
+            .map(|_| Point {
+                x: rng.gen_range(0.0..config.extent_km),
+                y: rng.gen_range(0.0..config.extent_km),
+            })
+            .collect();
+        // District character biases which AOI types appear there
+        // (business districts are office-heavy, suburbs residential).
+        let district_type_bias: Vec<[f32; 6]> = (0..config.n_districts)
+            .map(|_| {
+                let mut w = [1.0f32; 6];
+                // boost one or two types per district
+                let boosted = rng.gen_range(0..6);
+                w[boosted] += 3.0;
+                if rng.gen_bool(0.5) {
+                    w[rng.gen_range(0..6)] += 1.5;
+                }
+                w
+            })
+            .collect();
+        let aois = (0..config.n_aois)
+            .map(|id| {
+                let d = rng.gen_range(0..config.n_districts);
+                let centre = centres[d];
+                let gauss = |rng: &mut StdRng| {
+                    // Box-Muller
+                    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+                    let u2: f32 = rng.gen_range(0.0..1.0f32);
+                    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+                };
+                let x = (centre.x + gauss(&mut rng) * config.district_sigma_km)
+                    .clamp(0.0, config.extent_km);
+                let y = (centre.y + gauss(&mut rng) * config.district_sigma_km)
+                    .clamp(0.0, config.extent_km);
+                let kind = sample_weighted(&mut rng, &district_type_bias[d]);
+                let radius = rng.gen_range(config.aoi_radius_km.0..config.aoi_radius_km.1);
+                Aoi { id, kind, center: Point { x, y }, radius }
+            })
+            .collect();
+        Self { aois, extent_km: config.extent_km }
+    }
+
+    /// Generates a fleet of couriers, each owning a territory of the
+    /// `territory_size` AOIs nearest to a random anchor point. Stable
+    /// territories make the habit pattern learnable across days.
+    pub fn generate_couriers(&self, n: usize, territory_size: usize, seed: u64) -> Vec<Courier> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        let territory_size = territory_size.min(self.aois.len());
+        (0..n)
+            .map(|id| {
+                let anchor = Point {
+                    x: rng.gen_range(0.0..self.extent_km),
+                    y: rng.gen_range(0.0..self.extent_km),
+                };
+                let mut by_dist: Vec<usize> = (0..self.aois.len()).collect();
+                by_dist.sort_by(|&a, &b| {
+                    self.aois[a]
+                        .center
+                        .dist(&anchor)
+                        .partial_cmp(&self.aois[b].center.dist(&anchor))
+                        .expect("finite distances")
+                });
+                by_dist.truncate(territory_size);
+                Courier {
+                    id,
+                    speed_kmh: rng.gen_range(9.0..16.0),
+                    work_hours: rng.gen_range(6.0..10.0),
+                    attendance: rng.gen_range(0.82..1.0),
+                    territory: by_dist,
+                    habit_seed: rng.gen(),
+                }
+            })
+            .collect()
+    }
+
+    /// Looks up an AOI by id.
+    pub fn aoi(&self, id: usize) -> &Aoi {
+        &self.aois[id]
+    }
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f32; 6]) -> AoiType {
+    let total: f32 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return AoiType::ALL[i];
+        }
+        u -= w;
+    }
+    AoiType::ALL[5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_generation_is_deterministic() {
+        let cfg = CityConfig::default();
+        let a = City::generate(&cfg);
+        let b = City::generate(&cfg);
+        assert_eq!(a.aois.len(), b.aois.len());
+        for (x, y) in a.aois.iter().zip(&b.aois) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn aois_lie_within_extent_with_sane_radii() {
+        let cfg = CityConfig::default();
+        let city = City::generate(&cfg);
+        assert_eq!(city.aois.len(), cfg.n_aois);
+        for a in &city.aois {
+            assert!(a.center.x >= 0.0 && a.center.x <= cfg.extent_km);
+            assert!(a.center.y >= 0.0 && a.center.y <= cfg.extent_km);
+            assert!(a.radius >= cfg.aoi_radius_km.0 && a.radius <= cfg.aoi_radius_km.1);
+        }
+    }
+
+    #[test]
+    fn aois_are_clustered_not_uniform() {
+        // Mean nearest-neighbour distance of a clustered process must be
+        // well below the uniform-Poisson expectation 0.5/sqrt(density).
+        let cfg = CityConfig::default();
+        let city = City::generate(&cfg);
+        let nn_mean: f32 = city
+            .aois
+            .iter()
+            .map(|a| {
+                city.aois
+                    .iter()
+                    .filter(|b| b.id != a.id)
+                    .map(|b| a.center.dist(&b.center))
+                    .fold(f32::MAX, f32::min)
+            })
+            .sum::<f32>()
+            / city.aois.len() as f32;
+        let density = cfg.n_aois as f32 / (cfg.extent_km * cfg.extent_km);
+        let poisson_expectation = 0.5 / density.sqrt();
+        assert!(
+            nn_mean < 0.8 * poisson_expectation,
+            "AOIs look uniform: nn_mean={nn_mean}, poisson={poisson_expectation}"
+        );
+    }
+
+    #[test]
+    fn courier_territories_are_contiguous_and_sized() {
+        let city = City::generate(&CityConfig::default());
+        let couriers = city.generate_couriers(10, 24, 1);
+        assert_eq!(couriers.len(), 10);
+        for c in &couriers {
+            assert_eq!(c.territory.len(), 24);
+            // territory AOIs must be mutually close: max pairwise distance
+            // bounded by a fraction of the extent.
+            let mut max_d = 0.0f32;
+            for &a in &c.territory {
+                for &b in &c.territory {
+                    max_d = max_d.max(city.aoi(a).center.dist(&city.aoi(b).center));
+                }
+            }
+            assert!(max_d < city.extent_km, "territory too spread: {max_d}");
+            assert!(c.speed_kmh >= 9.0 && c.speed_kmh < 16.0);
+            assert!(c.attendance > 0.8 && c.attendance <= 1.0);
+        }
+    }
+}

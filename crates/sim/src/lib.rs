@@ -1,0 +1,50 @@
+//! # rtp-sim
+//!
+//! A synthetic instant-logistics world: the data substrate of the
+//! M²G4RTP reproduction.
+//!
+//! The paper evaluates on a proprietary Cainiao package pick-up dataset
+//! (Hangzhou, 8,600 AOIs, 550 couriers, 3 months). That data is not
+//! available, so this crate builds the closest synthetic equivalent and
+//! — crucially — plants in the generative process exactly the structure
+//! the paper's model is designed to exploit:
+//!
+//! 1. **High-level AOI transfer modes** (paper §I, limitation 1): each
+//!    courier has a stable, courier-specific habit score per AOI, and the
+//!    simulated ground-truth routes serve AOIs as contiguous blocks
+//!    ordered by a blend of habit, distance and deadline pressure.
+//! 2. **Route/time correlation** (limitation 2): arrival times are the
+//!    physical consequence of the route (cumulative travel at the
+//!    courier's weather-adjusted speed plus per-stop service times), so
+//!    nearby route positions have nearby times.
+//! 3. **Spatial correlation** (limitation 3): locations cluster inside
+//!    AOIs, AOIs cluster inside districts, and travel cost is metric.
+//!
+//! Calibration targets come from the paper's published statistics
+//! (§V.A, Fig. 4): ~7.6 locations and ~4.1 AOIs per sample, mean arrival
+//! time ≈ 60 min with most arrivals under 120 min, and per-courier-day
+//! transfer counts of ≈ 51 between locations vs ≈ 6.2 between AOIs.
+//!
+//! ```
+//! use rtp_sim::{DatasetConfig, DatasetBuilder};
+//!
+//! let config = DatasetConfig::tiny(42);
+//! let dataset = DatasetBuilder::new(config).build();
+//! assert!(!dataset.train.is_empty());
+//! let s = &dataset.train[0];
+//! assert_eq!(s.truth.route.len(), s.query.orders.len());
+//! ```
+
+mod behavior;
+mod city;
+mod dataset;
+mod types;
+
+pub mod stats;
+
+pub use behavior::{BehaviorConfig, BehaviorSim};
+pub use city::{City, CityConfig};
+pub use dataset::{Dataset, DatasetBuilder, DatasetConfig, SplitSizes};
+pub use types::{
+    Aoi, AoiType, Courier, GroundTruth, Order, Point, RtpQuery, RtpSample, Weather, MINUTES_PER_KM_BASE,
+};

@@ -1,0 +1,190 @@
+//! Dataset statistics used to regenerate paper Fig. 4 and the §V.A
+//! transfer-count analysis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::BehaviorSim;
+use crate::dataset::Dataset;
+use crate::types::{Order, Point, RtpQuery, Weather};
+
+/// A simple equal-width histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub start: f32,
+    /// Bin width.
+    pub width: f32,
+    /// Per-bin counts; the last bin also collects overflow.
+    pub counts: Vec<u64>,
+    /// Mean of the raw values.
+    pub mean: f32,
+    /// Number of values.
+    pub n: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` bins of `width` from
+    /// `start`.
+    pub fn build(values: &[f32], start: f32, width: f32, bins: usize) -> Self {
+        assert!(bins >= 1 && width > 0.0);
+        let mut counts = vec![0u64; bins];
+        let mut sum = 0.0f64;
+        for &v in values {
+            let b = (((v - start) / width).floor().max(0.0) as usize).min(bins - 1);
+            counts[b] += 1;
+            sum += v as f64;
+        }
+        let n = values.len() as u64;
+        Self { start, width, counts, mean: if n > 0 { (sum / n as f64) as f32 } else { 0.0 }, n }
+    }
+
+    /// Fraction of values in bins strictly left of `edge`.
+    pub fn fraction_below(&self, edge: f32) -> f32 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let cut = (((edge - self.start) / self.width).floor().max(0.0) as usize).min(self.counts.len());
+        let below: u64 = self.counts[..cut].iter().sum();
+        below as f32 / self.n as f32
+    }
+}
+
+/// Everything Fig. 4 plots, plus the §V.A transfer analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataDistribution {
+    /// Fig. 4(a): location arrival-time histogram (minutes).
+    pub location_arrival: Histogram,
+    /// Fig. 4(b): AOI arrival-time histogram (minutes).
+    pub aoi_arrival: Histogram,
+    /// Fig. 4(c): locations-per-sample histogram.
+    pub locations_per_sample: Histogram,
+    /// Fig. 4(d): AOIs-per-sample histogram.
+    pub aois_per_sample: Histogram,
+    /// §V.A: average per-courier-day transfers between locations.
+    pub avg_location_transfers_per_day: f32,
+    /// §V.A: average per-courier-day transfers between AOIs.
+    pub avg_aoi_transfers_per_day: f32,
+}
+
+/// Computes Fig. 4 statistics over every split of `dataset`, plus the
+/// transfer analysis from simulated full courier days.
+pub fn data_distribution(dataset: &Dataset) -> DataDistribution {
+    let mut loc_arr = Vec::new();
+    let mut aoi_arr = Vec::new();
+    let mut n_per = Vec::new();
+    let mut m_per = Vec::new();
+    for s in dataset.all_samples() {
+        loc_arr.extend_from_slice(&s.truth.arrival);
+        aoi_arr.extend_from_slice(&s.truth.aoi_arrival);
+        n_per.push(s.query.num_locations() as f32);
+        m_per.push(s.query.distinct_aois().len() as f32);
+    }
+    let (loc_t, aoi_t) = transfer_counts(dataset);
+    DataDistribution {
+        location_arrival: Histogram::build(&loc_arr, 0.0, 15.0, 16),
+        aoi_arrival: Histogram::build(&aoi_arr, 0.0, 15.0, 16),
+        locations_per_sample: Histogram::build(&n_per, 0.0, 1.0, 21),
+        aois_per_sample: Histogram::build(&m_per, 0.0, 1.0, 11),
+        avg_location_transfers_per_day: loc_t,
+        avg_aoi_transfers_per_day: aoi_t,
+    }
+}
+
+/// Simulates full courier days (~50 orders spanning the day's AOI visits)
+/// and counts transfers between consecutive served locations vs between
+/// consecutive distinct AOIs, reproducing the paper's 50.97 / 6.20
+/// analysis.
+pub fn transfer_counts(dataset: &Dataset) -> (f32, f32) {
+    let sim = BehaviorSim::new(&dataset.city, dataset.config.behavior.clone());
+    let mut loc_transfers = 0usize;
+    let mut aoi_transfers = 0usize;
+    let mut days = 0usize;
+    for (d, courier) in dataset.couriers.iter().enumerate().take(24) {
+        let mut rng = StdRng::seed_from_u64(dataset.config.seed ^ 0xDA11 ^ d as u64);
+        // A full day: ~7 AOI blocks of ~7-8 orders each (≈ 52 locations),
+        // consistent with the paper's 50.97 location transfers.
+        let m = 7;
+        let mut orders = Vec::new();
+        let mut pool = courier.territory.clone();
+        for _ in 0..m.min(pool.len()) {
+            let aoi_id = pool.swap_remove(rng.gen_range(0..pool.len()));
+            let aoi = dataset.city.aoi(aoi_id);
+            let cnt = rng.gen_range(6..=9);
+            for _ in 0..cnt {
+                let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+                let r = aoi.radius * rng.gen_range(0.0f32..1.0).sqrt();
+                orders.push(Order {
+                    pos: Point {
+                        x: aoi.center.x + r * angle.cos(),
+                        y: aoi.center.y + r * angle.sin(),
+                    },
+                    aoi_id,
+                    deadline: 480.0 + rng.gen_range(60.0..540.0),
+                    accept_time: 470.0,
+                });
+            }
+        }
+        let query = RtpQuery {
+            courier_id: courier.id,
+            time: 480.0,
+            courier_pos: dataset.city.aoi(courier.territory[0]).center,
+            orders,
+            weather: Weather::Sunny,
+            weekday: (d % 7) as u8,
+        };
+        let truth = sim.simulate(&query, courier, &mut rng);
+        loc_transfers += query.orders.len() - 1;
+        let order_aoi = query.order_aoi_indices();
+        aoi_transfers += truth
+            .route
+            .windows(2)
+            .filter(|w| order_aoi[w[0]] != order_aoi[w[1]])
+            .count();
+        days += 1;
+    }
+    (loc_transfers as f32 / days as f32, aoi_transfers as f32 / days as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, DatasetConfig};
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let h = Histogram::build(&[0.5, 1.5, 2.5, 99.0], 0.0, 1.0, 3);
+        assert_eq!(h.counts, vec![1, 1, 2], "overflow lands in last bin");
+        assert_eq!(h.n, 4);
+        assert!((h.fraction_below(2.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_negative_values_clamp_to_first_bin() {
+        let h = Histogram::build(&[-5.0, 0.1], 0.0, 1.0, 2);
+        assert_eq!(h.counts, vec![2, 0]);
+    }
+
+    #[test]
+    fn transfer_analysis_shows_block_structure() {
+        // Paper §V.A: ~51 location transfers vs ~6.2 AOI transfers per
+        // courier-day. Assert the qualitative gap (≈ 8x) and rough bands.
+        let d = DatasetBuilder::new(DatasetConfig::quick(11)).build();
+        let (loc_t, aoi_t) = transfer_counts(&d);
+        assert!((40.0..65.0).contains(&loc_t), "location transfers/day {loc_t}");
+        assert!((5.0..12.0).contains(&aoi_t), "AOI transfers/day {aoi_t}");
+        assert!(loc_t / aoi_t > 4.0, "block structure missing: ratio {}", loc_t / aoi_t);
+    }
+
+    #[test]
+    fn distribution_summary_is_consistent() {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(8)).build();
+        let dist = data_distribution(&d);
+        let n_samples: u64 = d.all_samples().count() as u64;
+        assert_eq!(dist.locations_per_sample.n, n_samples);
+        assert_eq!(dist.aois_per_sample.n, n_samples);
+        assert!(dist.location_arrival.n >= dist.aoi_arrival.n, "n >= m per sample");
+        assert!(dist.location_arrival.mean > 0.0);
+    }
+}

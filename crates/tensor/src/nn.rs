@@ -1,0 +1,336 @@
+//! Neural-network building blocks on top of the tape: linear layers,
+//! embedding tables, LSTM cells, MLPs and sinusoidal positional encodings.
+//!
+//! Each layer struct only stores [`ParamId`]s; the actual weights live in
+//! the model's [`ParamStore`], so layers are `Copy`-cheap to clone and a
+//! model is fully described by (layer structs, store).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, TensorId};
+
+/// Fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-initialised weights and a zero
+    /// bias.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.add_xavier(&format!("{name}.w"), in_dim, out_dim);
+        let b = Some(store.add_zeros(&format!("{name}.b"), 1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Creates a bias-free linear map (used for the attention projections
+    /// W1..W9 of the paper, which carry no bias).
+    pub fn new_no_bias(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.add_xavier(&format!("{name}.w"), in_dim, out_dim);
+        Self { w, b: None, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `[batch, in_dim]`, returning `[batch, out_dim]`.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, x: TensorId) -> TensorId {
+        let (_, c) = t.shape(x);
+        assert_eq!(c, self.in_dim, "Linear input dim mismatch: got {c}, want {}", self.in_dim);
+        let w = t.param(store, self.w);
+        let h = t.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = t.param(store, b);
+                t.add_row(h, bv)
+            }
+            None => h,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// Embedding table: maps integer ids to dense rows.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a table of `vocab` rows of width `dim`, uniform-initialised.
+    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize) -> Self {
+        let scale = 1.0 / (dim as f32).sqrt();
+        let table = store.add_uniform(&format!("{name}.table"), vocab, dim, scale);
+        Self { table, vocab, dim }
+    }
+
+    /// Looks up a batch of ids, returning `[ids.len(), dim]`.
+    ///
+    /// Out-of-vocabulary ids are clamped to the last row (a deliberate
+    /// "unknown" bucket: real AOI id spaces are open-ended).
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, ids: &[usize]) -> TensorId {
+        let table = t.param(store, self.table);
+        let clamped: Vec<usize> = ids.iter().map(|&i| i.min(self.vocab - 1)).collect();
+        t.gather_rows(table, &clamped)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A single LSTM cell. State is a pair `(h, c)` of `[1, hidden]` tensors.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wx: ParamId, // [in, 4*hidden]  (i, f, g, o gate blocks)
+    wh: ParamId, // [hidden, 4*hidden]
+    b: ParamId,  // [1, 4*hidden]
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell. The forget-gate bias block is initialised to
+    /// 1.0 (standard trick for gradient flow early in training).
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize) -> Self {
+        let wx = store.add_xavier(&format!("{name}.wx"), in_dim, 4 * hidden);
+        let wh = store.add_xavier(&format!("{name}.wh"), hidden, 4 * hidden);
+        let mut bias = vec![0.0f32; 4 * hidden];
+        for v in bias.iter_mut().skip(hidden).take(hidden) {
+            *v = 1.0; // forget gate block
+        }
+        let b = store.add_param(&format!("{name}.b"), 1, 4 * hidden, bias);
+        Self { wx, wh, b, in_dim, hidden }
+    }
+
+    /// Zero initial state on the given tape.
+    pub fn zero_state(&self, t: &mut Tape) -> (TensorId, TensorId) {
+        let h = t.constant(1, self.hidden, vec![0.0; self.hidden]);
+        let c = t.constant(1, self.hidden, vec![0.0; self.hidden]);
+        (h, c)
+    }
+
+    /// One step: input `[1, in_dim]`, state `(h, c)` -> new `(h, c)`.
+    pub fn step(
+        &self,
+        t: &mut Tape,
+        store: &ParamStore,
+        x: TensorId,
+        state: (TensorId, TensorId),
+    ) -> (TensorId, TensorId) {
+        let (h_prev, c_prev) = state;
+        let wx = t.param(store, self.wx);
+        let wh = t.param(store, self.wh);
+        let b = t.param(store, self.b);
+        let gx = t.matmul(x, wx);
+        let gh = t.matmul(h_prev, wh);
+        let g = t.add(gx, gh);
+        let g = t.add_row(g, b);
+        let n = self.hidden;
+        // split the 4 gate blocks using gather on a reshaped view:
+        // g is [1, 4n]; reshape to [4, n] and take rows.
+        let g4 = t.reshape(g, 4, n);
+        let gi = t.row(g4, 0);
+        let gf = t.row(g4, 1);
+        let gg = t.row(g4, 2);
+        let go = t.row(g4, 3);
+        let i = t.sigmoid(gi);
+        let f = t.sigmoid(gf);
+        let gt = t.tanh(gg);
+        let o = t.sigmoid(go);
+        let fc = t.mul(f, c_prev);
+        let ig = t.mul(i, gt);
+        let c = t.add(fc, ig);
+        let ct = t.tanh(c);
+        let h = t.mul(o, ct);
+        (h, c)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+/// A feed-forward network with ReLU activations between layers (used for
+/// the "plugged" time-prediction heads of the route-only baselines).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[in, 64, 32, 1]`.
+    pub fn new(store: &mut ParamStore, name: &str, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1]))
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass; ReLU after every layer except the last.
+    pub fn forward(&self, t: &mut Tape, store: &ParamStore, mut x: TensorId) -> TensorId {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(t, store, x);
+            if i != last {
+                x = t.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Sinusoidal positional encoding (Eq. 32 of the paper / Vaswani et al.).
+///
+/// Returns a `dim`-wide vector for position `pos` (1-based in the paper;
+/// any non-negative integer works).
+pub fn positional_encoding(pos: usize, dim: usize) -> Vec<f32> {
+    positional_encoding_with_base(pos, dim, 10_000.0)
+}
+
+/// Positional encoding with an explicit base `r` (Eq. 32 keeps it
+/// symbolic).
+#[allow(clippy::needless_range_loop)] // the index k is part of the formula (Eq. 32)
+pub fn positional_encoding_with_base(pos: usize, dim: usize, base: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    for k in 0..dim {
+        let exponent = (2 * (k / 2)) as f32 / dim as f32;
+        let angle = pos as f32 / base.powf(exponent);
+        out[k] = if k % 2 == 0 { angle.sin() } else { angle.cos() };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new(1);
+        let lin = Linear::new(&mut store, "l", 3, 2);
+        let mut t = Tape::new();
+        let x = t.constant(4, 3, vec![1.0; 12]);
+        let y = lin.forward(&mut t, &store, x);
+        assert_eq!(t.shape(y), (4, 2));
+        assert_eq!(lin.in_dim(), 3);
+        assert_eq!(lin.out_dim(), 2);
+    }
+
+    #[test]
+    fn embedding_lookup_and_oov_clamp() {
+        let mut store = ParamStore::new(1);
+        let emb = Embedding::new(&mut store, "e", 4, 3);
+        let mut t = Tape::new();
+        let a = emb.forward(&mut t, &store, &[0, 3, 99]);
+        assert_eq!(t.shape(a), (3, 3));
+        // OOV id 99 clamps to the last row (id 3).
+        let d = t.data(a);
+        assert_eq!(&d[3..6], &d[6..9]);
+    }
+
+    #[test]
+    fn lstm_step_changes_state_and_is_bounded() {
+        let mut store = ParamStore::new(1);
+        let cell = LstmCell::new(&mut store, "lstm", 3, 5);
+        let mut t = Tape::new();
+        let (h0, c0) = cell.zero_state(&mut t);
+        let x = t.constant(1, 3, vec![0.5, -0.5, 1.0]);
+        let (h1, _c1) = cell.step(&mut t, &store, x, (h0, c0));
+        assert_eq!(t.shape(h1), (1, 5));
+        assert!(t.data(h1).iter().any(|&v| v != 0.0), "state must update");
+        assert!(t.data(h1).iter().all(|&v| v.abs() <= 1.0), "h = o*tanh(c) is bounded");
+    }
+
+    #[test]
+    fn lstm_can_learn_to_remember_first_input() {
+        // Task: output after 3 steps should equal the first input scalar.
+        let mut store = ParamStore::new(7);
+        let cell = LstmCell::new(&mut store, "lstm", 1, 8);
+        let head = Linear::new(&mut store, "head", 8, 1);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<[f32; 3]> = vec![[1.0, 0.3, -0.2], [-1.0, 0.5, 0.1], [0.5, -0.9, 0.7], [-0.5, 0.2, 0.2]];
+        let mut final_loss = f32::MAX;
+        for _ in 0..300 {
+            store.zero_grad();
+            let mut total = 0.0;
+            for s in &seqs {
+                let mut t = Tape::new();
+                let mut state = cell.zero_state(&mut t);
+                for &v in s {
+                    let x = t.constant(1, 1, vec![v]);
+                    state = cell.step(&mut t, &store, x, state);
+                }
+                let y = head.forward(&mut t, &store, state.0);
+                let target = t.constant(1, 1, vec![s[0]]);
+                let loss = t.mse_loss(y, target);
+                total += t.scalar(loss);
+                t.backward(loss, &mut store);
+            }
+            store.scale_grad(1.0 / seqs.len() as f32);
+            opt.step(&mut store);
+            final_loss = total / seqs.len() as f32;
+        }
+        assert!(final_loss < 0.01, "LSTM failed to learn memory task: {final_loss}");
+    }
+
+    #[test]
+    fn mlp_forward_and_depth() {
+        let mut store = ParamStore::new(1);
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 1]);
+        assert_eq!(mlp.depth(), 2);
+        let mut t = Tape::new();
+        let x = t.constant(2, 4, vec![0.1; 8]);
+        let y = mlp.forward(&mut t, &store, x);
+        assert_eq!(t.shape(y), (2, 1));
+    }
+
+    #[test]
+    fn positional_encoding_properties() {
+        let p0 = positional_encoding(0, 8);
+        // pos 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        for (k, v) in p0.iter().enumerate() {
+            if k % 2 == 0 {
+                assert_eq!(*v, 0.0);
+            } else {
+                assert_eq!(*v, 1.0);
+            }
+        }
+        let p1 = positional_encoding(1, 8);
+        let p2 = positional_encoding(2, 8);
+        assert_ne!(p1, p2, "distinct positions must encode differently");
+        assert!(p1.iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! First-order optimizers stepping a [`ParamStore`].
+
+use crate::params::ParamStore;
+
+/// Common interface for optimizers over a parameter store.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated in
+    /// `store` (does not clear them — call [`ParamStore::zero_grad`]).
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (LR schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.iter_ids().collect();
+        if self.velocity.len() != ids.len() {
+            self.velocity = ids.iter().map(|&id| vec![0.0; store.data(id).len()]).collect();
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            let grad = store.grad(id).to_vec();
+            let vel = &mut self.velocity[k];
+            let data = store.data_mut(id);
+            for ((w, g), v) in data.iter_mut().zip(&grad).zip(vel.iter_mut()) {
+                *v = self.momentum * *v + g;
+                *w -= self.lr * *v;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the optimizer used for every neural model
+/// in this workspace.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with explicit hyperparameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.iter_ids().collect();
+        if self.m.len() != ids.len() {
+            self.m = ids.iter().map(|&id| vec![0.0; store.data(id).len()]).collect();
+            self.v = ids.iter().map(|&id| vec![0.0; store.data(id).len()]).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (k, &id) in ids.iter().enumerate() {
+            let grad = store.grad(id).to_vec();
+            let (m, v) = (&mut self.m[k], &mut self.v[k]);
+            let data = store.data_mut(id);
+            for (((w, g), mi), vi) in data.iter_mut().zip(&grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    fn quadratic_descends<O: Optimizer>(mut opt: O) -> f32 {
+        // minimise (w - 3)^2 + (b + 1)^2
+        let mut store = ParamStore::new(0);
+        let w = store.add_param("w", 1, 1, vec![0.0]);
+        let b = store.add_param("b", 1, 1, vec![0.0]);
+        for _ in 0..500 {
+            let mut t = Tape::new();
+            let wv = t.param(&store, w);
+            let bv = t.param(&store, b);
+            let tw = t.scalar_const(3.0);
+            let tb = t.scalar_const(-1.0);
+            let d1 = t.sub(wv, tw);
+            let d2 = t.sub(bv, tb);
+            let s1 = t.mul(d1, d1);
+            let s2 = t.mul(d2, d2);
+            let loss = t.add(s1, s2);
+            store.zero_grad();
+            t.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        (store.data(w)[0] - 3.0).abs() + (store.data(b)[0] + 1.0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(quadratic_descends(Sgd::new(0.05)) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        assert!(quadratic_descends(Sgd::with_momentum(0.02, 0.9)) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(quadratic_descends(Adam::new(0.05)) < 1e-3);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut a = Adam::new(0.01);
+        assert_eq!(a.learning_rate(), 0.01);
+        a.set_learning_rate(0.001);
+        assert_eq!(a.learning_rate(), 0.001);
+        assert_eq!(a.steps(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Parameter storage shared across tapes.
+//!
+//! Model parameters outlive any single forward pass, so they live here
+//! rather than on the [`crate::Tape`]. Gradients are accumulated into the
+//! store by `Tape::backward`, which makes multi-sample (mini-batch)
+//! gradient accumulation trivial: run several tapes, then step once.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) u32);
+
+impl ParamId {
+    /// Index of this parameter within its store.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ParamEntry {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+    grad: Vec<f32>,
+}
+
+/// Owns every learnable tensor of a model, together with its gradient
+/// accumulator and an RNG used for initialisation.
+///
+/// `Clone` is cheap relative to training cost and gives data-parallel
+/// trainers a private copy per worker whose gradients are merged back.
+#[derive(Debug, Clone)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+    rng: StdRng,
+}
+
+impl ParamStore {
+    /// Creates an empty store whose initialisers draw from a deterministic
+    /// RNG seeded with `seed` (reproducible experiments).
+    pub fn new(seed: u64) -> Self {
+        Self { entries: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Registers a parameter with explicit initial values.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn add_param(&mut self, name: &str, rows: usize, cols: usize, data: Vec<f32>) -> ParamId {
+        assert_eq!(data.len(), rows * cols, "param `{name}` data length mismatch");
+        let id = ParamId(self.entries.len() as u32);
+        self.entries.push(ParamEntry {
+            name: name.to_string(),
+            rows,
+            cols,
+            grad: vec![0.0; data.len()],
+            data,
+        });
+        id
+    }
+
+    /// Registers a parameter initialised with Xavier/Glorot uniform noise,
+    /// the scheme used for every linear map in this workspace.
+    pub fn add_xavier(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| self.rng.gen_range(-bound..bound)).collect();
+        self.add_param(name, rows, cols, data)
+    }
+
+    /// Registers a parameter initialised to zero (biases, log-variances).
+    pub fn add_zeros(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
+        self.add_param(name, rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// Registers a parameter with small uniform noise in `[-scale, scale]`
+    /// (embedding tables).
+    pub fn add_uniform(&mut self, name: &str, rows: usize, cols: usize, scale: f32) -> ParamId {
+        let data = (0..rows * cols).map(|_| self.rng.gen_range(-scale..scale)).collect();
+        self.add_param(name, rows, cols, data)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.data.len()).sum()
+    }
+
+    /// Shape of a parameter as `(rows, cols)`.
+    pub fn shape(&self, id: ParamId) -> (usize, usize) {
+        let e = &self.entries[id.index()];
+        (e.rows, e.cols)
+    }
+
+    /// Name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.index()].name
+    }
+
+    /// Read-only view of a parameter's values.
+    pub fn data(&self, id: ParamId) -> &[f32] {
+        &self.entries[id.index()].data
+    }
+
+    /// Mutable view of a parameter's values (used by optimizers and tests).
+    pub fn data_mut(&mut self, id: ParamId) -> &mut [f32] {
+        &mut self.entries[id.index()].data
+    }
+
+    /// Read-only view of a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.entries[id.index()].grad
+    }
+
+    /// Accumulates `delta` into the gradient of `id`.
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, delta: &[f32]) {
+        let g = &mut self.entries[id.index()].grad;
+        debug_assert_eq!(g.len(), delta.len());
+        for (gi, di) in g.iter_mut().zip(delta) {
+            *gi += di;
+        }
+    }
+
+    /// Clears every gradient accumulator. Call before each optimisation
+    /// step's forward/backward passes.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Clears the gradient of a single parameter — the freezing
+    /// primitive used by two-phase ("two-step" ablation) training.
+    pub fn zero_grad_of(&mut self, id: ParamId) {
+        self.entries[id.index()].grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Merges the gradients accumulated in `other` (a clone of this
+    /// store) into this store's accumulators.
+    ///
+    /// # Panics
+    /// Panics if the stores have different layouts.
+    pub fn merge_grads_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.entries.len(), other.entries.len(), "store layout mismatch");
+        for (e, o) in self.entries.iter_mut().zip(&other.entries) {
+            debug_assert_eq!(e.grad.len(), o.grad.len());
+            for (g, og) in e.grad.iter_mut().zip(&o.grad) {
+                *g += og;
+            }
+        }
+    }
+
+    /// Scales every gradient by `factor` (used to average accumulated
+    /// per-sample gradients into a mean mini-batch gradient).
+    pub fn scale_grad(&mut self, factor: f32) {
+        for e in &mut self.entries {
+            e.grad.iter_mut().for_each(|g| *g *= factor);
+        }
+    }
+
+    /// Global L2 norm of the gradient, over all parameters.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .flat_map(|e| e.grad.iter())
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips the global gradient norm to `max_norm` (no-op if already
+    /// below). Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.iter_mut().for_each(|g| *g *= scale);
+            }
+        }
+        norm
+    }
+
+    /// Iterates over `(ParamId, name)` pairs.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(|i| ParamId(i as u32))
+    }
+
+    /// Serialises all parameter values into a flat snapshot (for
+    /// early-stopping "best weights" checkpoints).
+    pub fn snapshot(&self) -> Vec<Vec<f32>> {
+        self.entries.iter().map(|e| e.data.clone()).collect()
+    }
+
+    /// Restores values captured by [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store's layout.
+    pub fn restore(&mut self, snapshot: &[Vec<f32>]) {
+        assert_eq!(snapshot.len(), self.entries.len(), "snapshot layout mismatch");
+        for (e, s) in self.entries.iter_mut().zip(snapshot) {
+            assert_eq!(e.data.len(), s.len(), "snapshot tensor size mismatch for `{}`", e.name);
+            e.data.copy_from_slice(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_params() {
+        let mut s = ParamStore::new(1);
+        let a = s.add_param("a", 2, 3, vec![1.0; 6]);
+        assert_eq!(s.shape(a), (2, 3));
+        assert_eq!(s.name(a), "a");
+        assert_eq!(s.data(a), &[1.0; 6]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_scalars(), 6);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let mut s1 = ParamStore::new(42);
+        let mut s2 = ParamStore::new(42);
+        let a1 = s1.add_xavier("w", 8, 8);
+        let a2 = s2.add_xavier("w", 8, 8);
+        assert_eq!(s1.data(a1), s2.data(a2), "same seed must give same init");
+        let bound = (6.0 / 16.0f32).sqrt();
+        assert!(s1.data(a1).iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn grad_accumulate_zero_and_clip() {
+        let mut s = ParamStore::new(1);
+        let a = s.add_zeros("a", 1, 4);
+        s.accumulate_grad(a, &[3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(s.grad_norm(), 5.0);
+        let pre = s.clip_grad_norm(1.0);
+        assert_eq!(pre, 5.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-6);
+        s.zero_grad();
+        assert_eq!(s.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = ParamStore::new(1);
+        let a = s.add_param("a", 1, 2, vec![1.0, 2.0]);
+        let snap = s.snapshot();
+        s.data_mut(a).copy_from_slice(&[9.0, 9.0]);
+        s.restore(&snap);
+        assert_eq!(s.data(a), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn bad_shape_panics() {
+        let mut s = ParamStore::new(1);
+        s.add_param("a", 2, 2, vec![0.0; 3]);
+    }
+}

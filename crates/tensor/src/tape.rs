@@ -1,0 +1,1246 @@
+//! The autodiff tape: a flat arena of tensor nodes plus reverse-mode
+//! gradient propagation.
+//!
+//! Every op is a method on [`Tape`] that appends a node and returns a
+//! [`TensorId`]. [`Tape::backward`] seeds the gradient of a scalar loss
+//! with 1 and walks the arena in reverse, accumulating into each node's
+//! gradient buffer and finally into the [`ParamStore`] for `Param` leaves.
+
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a tensor on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(u32);
+
+impl TensorId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Param(ParamId),
+    Matmul(TensorId, TensorId),
+    Add(TensorId, TensorId),
+    AddRow(TensorId, TensorId),
+    AddCol(TensorId, TensorId),
+    AddOuter(TensorId, TensorId),
+    Sub(TensorId, TensorId),
+    Mul(TensorId, TensorId),
+    MulScalarT(TensorId, TensorId),
+    MulRow(TensorId, TensorId),
+    Scale(TensorId, f32),
+    AddScalar(TensorId),
+    Abs(TensorId),
+    Relu(TensorId),
+    LeakyRelu(TensorId, f32),
+    Tanh(TensorId),
+    Sigmoid(TensorId),
+    Exp(TensorId),
+    Ln(TensorId),
+    ConcatCols(Vec<TensorId>),
+    ConcatRows(Vec<TensorId>),
+    GatherRows(TensorId, Vec<usize>),
+    RepeatRows(TensorId, usize),
+    RepeatInterleaveRows(TensorId, usize),
+    Transpose(TensorId),
+    Reshape(TensorId),
+    SumAll(TensorId),
+    MeanAll(TensorId),
+    RowSum(TensorId),
+    RowMean(TensorId),
+    MaskedSoftmaxRows(TensorId, Vec<bool>),
+    MaskedLogSoftmaxRows(TensorId, Vec<bool>),
+    PickElements(TensorId, Vec<(usize, usize)>),
+    LayerNormRows(TensorId, f32),
+}
+
+#[derive(Debug)]
+struct Node {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+    grad: Vec<f32>,
+    op: Op,
+}
+
+/// A single forward pass: an append-only arena of tensors and the ops
+/// that produced them.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates an empty tape with room for `cap` nodes (hot loops).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { nodes: Vec::with_capacity(cap) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, rows: usize, cols: usize, data: Vec<f32>, op: Op) -> TensorId {
+        debug_assert_eq!(data.len(), rows * cols);
+        let id = TensorId(self.nodes.len() as u32);
+        let grad = vec![0.0; data.len()];
+        self.nodes.push(Node { rows, cols, data, grad, op });
+        id
+    }
+
+    /// Shape of a tensor as `(rows, cols)`.
+    pub fn shape(&self, t: TensorId) -> (usize, usize) {
+        let n = &self.nodes[t.idx()];
+        (n.rows, n.cols)
+    }
+
+    /// Read-only view of a tensor's values.
+    pub fn data(&self, t: TensorId) -> &[f32] {
+        &self.nodes[t.idx()].data
+    }
+
+    /// Read-only view of a tensor's gradient (valid after `backward`).
+    pub fn grad(&self, t: TensorId) -> &[f32] {
+        &self.nodes[t.idx()].grad
+    }
+
+    /// The single value of a `[1,1]` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1×1`.
+    pub fn scalar(&self, t: TensorId) -> f32 {
+        let n = &self.nodes[t.idx()];
+        assert_eq!((n.rows, n.cols), (1, 1), "scalar() on a non-1x1 tensor");
+        n.data[0]
+    }
+
+    // ---------------------------------------------------------------
+    // Leaves
+    // ---------------------------------------------------------------
+
+    /// Records a constant (non-differentiable-into) input tensor.
+    pub fn constant(&mut self, rows: usize, cols: usize, data: Vec<f32>) -> TensorId {
+        assert_eq!(data.len(), rows * cols, "constant data length mismatch");
+        self.push(rows, cols, data, Op::Leaf)
+    }
+
+    /// Records a `[1,1]` constant.
+    pub fn scalar_const(&mut self, v: f32) -> TensorId {
+        self.push(1, 1, vec![v], Op::Leaf)
+    }
+
+    /// Leases a parameter from `store` onto this tape. Gradients flowing
+    /// into the returned tensor are accumulated back into the store by
+    /// [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> TensorId {
+        let (rows, cols) = store.shape(id);
+        self.push(rows, cols, store.data(id).to_vec(), Op::Param(id))
+    }
+
+    // ---------------------------------------------------------------
+    // Linear algebra
+    // ---------------------------------------------------------------
+
+    /// Matrix product `a @ b`: `[r,k] x [k,c] -> [r,c]`.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ar, ak) = self.shape(a);
+        let (bk, bc) = self.shape(b);
+        assert_eq!(ak, bk, "matmul inner dim mismatch: [{ar},{ak}] x [{bk},{bc}]");
+        let mut out = vec![0.0f32; ar * bc];
+        {
+            let da = &self.nodes[a.idx()].data;
+            let db = &self.nodes[b.idx()].data;
+            matmul_into(da, db, &mut out, ar, ak, bc);
+        }
+        self.push(ar, bc, out, Op::Matmul(a, b))
+    }
+
+    /// Transpose `[r,c] -> [c,r]`.
+    pub fn transpose(&mut self, a: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = da[i * c + j];
+            }
+        }
+        self.push(c, r, out, Op::Transpose(a))
+    }
+
+    /// Reinterprets the data with a new shape (`rows*cols` must match).
+    pub fn reshape(&mut self, a: TensorId, rows: usize, cols: usize) -> TensorId {
+        let (r, c) = self.shape(a);
+        assert_eq!(r * c, rows * cols, "reshape element count mismatch");
+        let data = self.nodes[a.idx()].data.clone();
+        self.push(rows, cols, data, Op::Reshape(a))
+    }
+
+    // ---------------------------------------------------------------
+    // Elementwise arithmetic
+    // ---------------------------------------------------------------
+
+    fn binary_same_shape(&mut self, a: TensorId, b: TensorId, op_name: &str) -> (usize, usize) {
+        let sa = self.shape(a);
+        let sb = self.shape(b);
+        assert_eq!(sa, sb, "{op_name} shape mismatch: {sa:?} vs {sb:?}");
+        sa
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.binary_same_shape(a, b, "add");
+        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x + y);
+        self.push(r, c, out, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b` (same shape).
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.binary_same_shape(a, b, "sub");
+        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x - y);
+        self.push(r, c, out, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.binary_same_shape(a, b, "mul");
+        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x * y);
+        self.push(r, c, out, Op::Mul(a, b))
+    }
+
+    /// Broadcast add of a row vector: `[r,c] + [1,c]`.
+    #[allow(clippy::needless_range_loop)] // explicit i,j indexing matches the math
+    pub fn add_row(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!((br, bc), (1, c), "add_row expects [1,{c}], got [{br},{bc}]");
+        let da = &self.nodes[a.idx()].data;
+        let db = &self.nodes[b.idx()].data;
+        let mut out = Vec::with_capacity(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                out.push(da[i * c + j] + db[j]);
+            }
+        }
+        self.push(r, c, out, Op::AddRow(a, b))
+    }
+
+    /// Broadcast add of a column vector: `[r,c] + [r,1]`.
+    pub fn add_col(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!((br, bc), (r, 1), "add_col expects [{r},1], got [{br},{bc}]");
+        let da = &self.nodes[a.idx()].data;
+        let db = &self.nodes[b.idx()].data;
+        let mut out = Vec::with_capacity(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                out.push(da[i * c + j] + db[i]);
+            }
+        }
+        self.push(r, c, out, Op::AddCol(a, b))
+    }
+
+    /// Outer sum of two column vectors: `a [r,1] ⊕ b [c,1] -> [r,c]`,
+    /// `out[i][j] = a[i] + b[j]`. This is how pairwise attention logits
+    /// (`a_left·h_i + a_right·h_j`) are vectorised.
+    pub fn add_outer(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, ac) = self.shape(a);
+        let (c, bc) = self.shape(b);
+        assert_eq!(ac, 1, "add_outer lhs must be a column vector");
+        assert_eq!(bc, 1, "add_outer rhs must be a column vector");
+        let da = &self.nodes[a.idx()].data;
+        let db = &self.nodes[b.idx()].data;
+        let mut out = Vec::with_capacity(r * c);
+        for &ai in da.iter().take(r) {
+            for &bj in db.iter().take(c) {
+                out.push(ai + bj);
+            }
+        }
+        self.push(r, c, out, Op::AddOuter(a, b))
+    }
+
+    /// Multiplies every element of `a` by a learnable `[1,1]` scalar `s`.
+    pub fn mul_scalar_t(&mut self, a: TensorId, s: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        assert_eq!(self.shape(s), (1, 1), "mul_scalar_t scale must be 1x1");
+        let sv = self.nodes[s.idx()].data[0];
+        let out = self.nodes[a.idx()].data.iter().map(|x| x * sv).collect();
+        self.push(r, c, out, Op::MulScalarT(a, s))
+    }
+
+    /// Broadcast elementwise multiply by a row vector: `[r,c] * [1,c]`
+    /// (layer-norm gain, feature gates).
+    pub fn mul_row(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!((br, bc), (1, c), "mul_row expects [1,{c}], got [{br},{bc}]");
+        let da = &self.nodes[a.idx()].data;
+        let db = &self.nodes[b.idx()].data;
+        let mut out = Vec::with_capacity(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                out.push(da[i * c + j] * db[j]);
+            }
+        }
+        self.push(r, c, out, Op::MulRow(a, b))
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&mut self, a: TensorId, k: f32) -> TensorId {
+        let (r, c) = self.shape(a);
+        let out = self.nodes[a.idx()].data.iter().map(|x| x * k).collect();
+        self.push(r, c, out, Op::Scale(a, k))
+    }
+
+    /// Adds a compile-time constant to every element.
+    pub fn add_scalar(&mut self, a: TensorId, k: f32) -> TensorId {
+        let (r, c) = self.shape(a);
+        let out = self.nodes[a.idx()].data.iter().map(|x| x + k).collect();
+        self.push(r, c, out, Op::AddScalar(a))
+    }
+
+    /// Elementwise negation (`scale(a, -1)`).
+    pub fn neg(&mut self, a: TensorId) -> TensorId {
+        self.scale(a, -1.0)
+    }
+
+    // ---------------------------------------------------------------
+    // Activations and pointwise nonlinearities
+    // ---------------------------------------------------------------
+
+    fn unary(&mut self, a: TensorId, op: Op, f: impl Fn(f32) -> f32) -> TensorId {
+        let (r, c) = self.shape(a);
+        let out = self.nodes[a.idx()].data.iter().map(|&x| f(x)).collect();
+        self.push(r, c, out, op)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Abs(a), f32::abs)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Relu(a), |x| x.max(0.0))
+    }
+
+    /// Elementwise LeakyReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: TensorId, slope: f32) -> TensorId {
+        self.unary(a, Op::LeakyRelu(a, slope), move |x| if x > 0.0 { x } else { slope * x })
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Tanh(a), f32::tanh)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Sigmoid(a), |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Exp(a), f32::exp)
+    }
+
+    /// Elementwise natural logarithm. Inputs must be strictly positive.
+    pub fn ln(&mut self, a: TensorId) -> TensorId {
+        self.unary(a, Op::Ln(a), f32::ln)
+    }
+
+    // ---------------------------------------------------------------
+    // Structural ops
+    // ---------------------------------------------------------------
+
+    /// Concatenates tensors with equal row counts along the column axis.
+    pub fn concat_cols(&mut self, parts: &[TensorId]) -> TensorId {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let (r, _) = self.shape(parts[0]);
+        let total_c: usize = parts
+            .iter()
+            .map(|&p| {
+                let (pr, pc) = self.shape(p);
+                assert_eq!(pr, r, "concat_cols row mismatch");
+                pc
+            })
+            .sum();
+        let mut out = Vec::with_capacity(r * total_c);
+        for i in 0..r {
+            for &p in parts {
+                let (_, pc) = self.shape(p);
+                let d = &self.nodes[p.idx()].data;
+                out.extend_from_slice(&d[i * pc..(i + 1) * pc]);
+            }
+        }
+        self.push(r, total_c, out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Concatenates tensors with equal column counts along the row axis.
+    pub fn concat_rows(&mut self, parts: &[TensorId]) -> TensorId {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let (_, c) = self.shape(parts[0]);
+        let total_r: usize = parts
+            .iter()
+            .map(|&p| {
+                let (pr, pc) = self.shape(p);
+                assert_eq!(pc, c, "concat_rows column mismatch");
+                pr
+            })
+            .sum();
+        let mut out = Vec::with_capacity(total_r * c);
+        for &p in parts {
+            out.extend_from_slice(&self.nodes[p.idx()].data);
+        }
+        self.push(total_r, c, out, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Gathers rows of `a` by index (rows may repeat — embedding lookup,
+    /// route-ordered re-sorting for the SortLSTM).
+    pub fn gather_rows(&mut self, a: TensorId, indices: &[usize]) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = Vec::with_capacity(indices.len() * c);
+        for &i in indices {
+            assert!(i < r, "gather_rows index {i} out of bounds for {r} rows");
+            out.extend_from_slice(&da[i * c..(i + 1) * c]);
+        }
+        self.push(indices.len(), c, out, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Extracts a single row as a `[1,c]` tensor.
+    pub fn row(&mut self, a: TensorId, i: usize) -> TensorId {
+        self.gather_rows(a, &[i])
+    }
+
+    /// Tiles the whole matrix `k` times vertically: `[r,c] -> [k*r,c]`.
+    pub fn repeat_rows(&mut self, a: TensorId, k: usize) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = Vec::with_capacity(k * r * c);
+        for _ in 0..k {
+            out.extend_from_slice(da);
+        }
+        self.push(k * r, c, out, Op::RepeatRows(a, k))
+    }
+
+    /// Repeats each row `k` times consecutively: `[r,c] -> [r*k,c]`.
+    pub fn repeat_interleave_rows(&mut self, a: TensorId, k: usize) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = Vec::with_capacity(k * r * c);
+        for i in 0..r {
+            for _ in 0..k {
+                out.extend_from_slice(&da[i * c..(i + 1) * c]);
+            }
+        }
+        self.push(r * k, c, out, Op::RepeatInterleaveRows(a, k))
+    }
+
+    // ---------------------------------------------------------------
+    // Reductions
+    // ---------------------------------------------------------------
+
+    /// Sum of all elements -> `[1,1]`.
+    pub fn sum_all(&mut self, a: TensorId) -> TensorId {
+        let s: f32 = self.nodes[a.idx()].data.iter().sum();
+        self.push(1, 1, vec![s], Op::SumAll(a))
+    }
+
+    /// Mean of all elements -> `[1,1]`.
+    pub fn mean_all(&mut self, a: TensorId) -> TensorId {
+        let n = self.nodes[a.idx()].data.len().max(1);
+        let s: f32 = self.nodes[a.idx()].data.iter().sum();
+        self.push(1, 1, vec![s / n as f32], Op::MeanAll(a))
+    }
+
+    /// Per-row sum: `[r,c] -> [r,1]`.
+    pub fn row_sum(&mut self, a: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let out = (0..r).map(|i| da[i * c..(i + 1) * c].iter().sum()).collect();
+        self.push(r, 1, out, Op::RowSum(a))
+    }
+
+    /// Per-row mean: `[r,c] -> [r,1]`.
+    pub fn row_mean(&mut self, a: TensorId) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let out = (0..r).map(|i| da[i * c..(i + 1) * c].iter().sum::<f32>() / c as f32).collect();
+        self.push(r, 1, out, Op::RowMean(a))
+    }
+
+    // ---------------------------------------------------------------
+    // Softmax family
+    // ---------------------------------------------------------------
+
+    /// Row-wise softmax over the entries where `mask` is `true`; masked
+    /// entries get probability 0. A fully masked row yields all zeros.
+    ///
+    /// `mask.len()` must equal `rows*cols`. This single op covers both
+    /// graph-attention (adjacency mask) and pointer decoding
+    /// (visited-node mask).
+    pub fn masked_softmax_rows(&mut self, a: TensorId, mask: &[bool]) -> TensorId {
+        let (r, c) = self.shape(a);
+        assert_eq!(mask.len(), r * c, "mask length mismatch");
+        let da = &self.nodes[a.idx()].data;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            softmax_row(&da[i * c..(i + 1) * c], &mask[i * c..(i + 1) * c], &mut out[i * c..(i + 1) * c]);
+        }
+        self.push(r, c, out, Op::MaskedSoftmaxRows(a, mask.to_vec()))
+    }
+
+    /// Row-wise log-softmax over unmasked entries; masked entries are set
+    /// to `f32::NEG_INFINITY` in the output but receive zero gradient.
+    /// Use with [`Tape::pick_elements`] for numerically stable
+    /// cross-entropy.
+    pub fn masked_log_softmax_rows(&mut self, a: TensorId, mask: &[bool]) -> TensorId {
+        let (r, c) = self.shape(a);
+        assert_eq!(mask.len(), r * c, "mask length mismatch");
+        let da = &self.nodes[a.idx()].data;
+        let mut out = vec![f32::NEG_INFINITY; r * c];
+        for i in 0..r {
+            log_softmax_row(&da[i * c..(i + 1) * c], &mask[i * c..(i + 1) * c], &mut out[i * c..(i + 1) * c]);
+        }
+        self.push(r, c, out, Op::MaskedLogSoftmaxRows(a, mask.to_vec()))
+    }
+
+    /// Picks elements `(row, col)` into a `[k,1]` column vector.
+    pub fn pick_elements(&mut self, a: TensorId, coords: &[(usize, usize)]) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = Vec::with_capacity(coords.len());
+        for &(i, j) in coords {
+            assert!(i < r && j < c, "pick_elements ({i},{j}) out of bounds [{r},{c}]");
+            out.push(da[i * c + j]);
+        }
+        self.push(coords.len(), 1, out, Op::PickElements(a, coords.to_vec()))
+    }
+
+    /// Row-wise layer normalisation (zero mean, unit variance per row).
+    /// Affine gain/bias, when wanted, are applied with [`Tape::mul_row`] /
+    /// [`Tape::add_row`] on `[1,c]` parameters.
+    pub fn layer_norm_rows(&mut self, a: TensorId, eps: f32) -> TensorId {
+        let (r, c) = self.shape(a);
+        let da = &self.nodes[a.idx()].data;
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let row = &da[i * c..(i + 1) * c];
+            let mean = row.iter().sum::<f32>() / c as f32;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / c as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..c {
+                out[i * c + j] = (row[j] - mean) * inv;
+            }
+        }
+        self.push(r, c, out, Op::LayerNormRows(a, eps))
+    }
+
+    // ---------------------------------------------------------------
+    // Loss helpers
+    // ---------------------------------------------------------------
+
+    /// Mean absolute error between `pred` and `target` (same shape) ->
+    /// `[1,1]`. Used for the time losses (Eqs. 39–40 of the paper).
+    pub fn mae_loss(&mut self, pred: TensorId, target: TensorId) -> TensorId {
+        let d = self.sub(pred, target);
+        let a = self.abs(d);
+        self.mean_all(a)
+    }
+
+    /// Mean squared error -> `[1,1]`.
+    pub fn mse_loss(&mut self, pred: TensorId, target: TensorId) -> TensorId {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Cross-entropy of a single decoding step: `-log softmax(logits)[target]`
+    /// restricted to unmasked candidates. `logits` is `[1,c]`.
+    pub fn masked_cross_entropy(&mut self, logits: TensorId, mask: &[bool], target: usize) -> TensorId {
+        let (r, c) = self.shape(logits);
+        assert_eq!(r, 1, "masked_cross_entropy expects [1,c] logits");
+        assert!(target < c && mask[target], "cross-entropy target must be an unmasked candidate");
+        let logp = self.masked_log_softmax_rows(logits, mask);
+        let picked = self.pick_elements(logp, &[(0, target)]);
+        self.scale(picked, -1.0)
+    }
+
+    // ---------------------------------------------------------------
+    // Backward
+    // ---------------------------------------------------------------
+
+    /// Reverse-mode gradient propagation from scalar `loss` (must be
+    /// `[1,1]`). Parameter gradients are **accumulated** into `store`
+    /// (call [`ParamStore::zero_grad`] when starting a new step).
+    pub fn backward(&mut self, loss: TensorId, store: &mut ParamStore) {
+        {
+            let n = &mut self.nodes[loss.idx()];
+            assert_eq!((n.rows, n.cols), (1, 1), "backward() expects a scalar loss");
+            n.grad[0] += 1.0;
+        }
+        for i in (0..=loss.idx()).rev() {
+            // Split borrows: take the node's grad out, push into inputs.
+            let op = self.nodes[i].op.clone();
+            let grad = std::mem::take(&mut self.nodes[i].grad);
+            if grad.iter().all(|&g| g == 0.0) {
+                self.nodes[i].grad = grad;
+                continue;
+            }
+            let (rows, cols) = (self.nodes[i].rows, self.nodes[i].cols);
+            match op {
+                Op::Leaf => {}
+                Op::Param(pid) => store.accumulate_grad(pid, &grad),
+                Op::Matmul(a, b) => {
+                    let (ar, ak) = self.shape(a);
+                    let (_, bc) = self.shape(b);
+                    // gA += G @ B^T
+                    let db = self.nodes[b.idx()].data.clone();
+                    let da = self.nodes[a.idx()].data.clone();
+                    {
+                        let ga = &mut self.nodes[a.idx()].grad;
+                        for i2 in 0..ar {
+                            for j in 0..bc {
+                                let g = grad[i2 * bc + j];
+                                if g != 0.0 {
+                                    for k in 0..ak {
+                                        ga[i2 * ak + k] += g * db[k * bc + j];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // gB += A^T @ G
+                    {
+                        let gb = &mut self.nodes[b.idx()].grad;
+                        for i2 in 0..ar {
+                            for k in 0..ak {
+                                let av = da[i2 * ak + k];
+                                if av != 0.0 {
+                                    for j in 0..bc {
+                                        gb[k * bc + j] += av * grad[i2 * bc + j];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Add(a, b) => {
+                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
+                    add_assign(&mut self.nodes[b.idx()].grad, &grad);
+                }
+                Op::Sub(a, b) => {
+                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
+                    sub_assign(&mut self.nodes[b.idx()].grad, &grad);
+                }
+                Op::Mul(a, b) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let db = self.nodes[b.idx()].data.clone();
+                    mul_add_assign(&mut self.nodes[a.idx()].grad, &grad, &db);
+                    mul_add_assign(&mut self.nodes[b.idx()].grad, &grad, &da);
+                }
+                Op::AddRow(a, b) => {
+                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
+                    let gb = &mut self.nodes[b.idx()].grad;
+                    for i2 in 0..rows {
+                        for j in 0..cols {
+                            gb[j] += grad[i2 * cols + j];
+                        }
+                    }
+                }
+                Op::AddCol(a, b) => {
+                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
+                    let gb = &mut self.nodes[b.idx()].grad;
+                    for i2 in 0..rows {
+                        for j in 0..cols {
+                            gb[i2] += grad[i2 * cols + j];
+                        }
+                    }
+                }
+                Op::AddOuter(a, b) => {
+                    {
+                        let ga = &mut self.nodes[a.idx()].grad;
+                        for i2 in 0..rows {
+                            ga[i2] += grad[i2 * cols..(i2 + 1) * cols].iter().sum::<f32>();
+                        }
+                    }
+                    {
+                        let gb = &mut self.nodes[b.idx()].grad;
+                        for j in 0..cols {
+                            for i2 in 0..rows {
+                                gb[j] += grad[i2 * cols + j];
+                            }
+                        }
+                    }
+                }
+                Op::MulScalarT(a, s) => {
+                    let sv = self.nodes[s.idx()].data[0];
+                    let da = self.nodes[a.idx()].data.clone();
+                    {
+                        let ga = &mut self.nodes[a.idx()].grad;
+                        for (g, gr) in ga.iter_mut().zip(&grad) {
+                            *g += gr * sv;
+                        }
+                    }
+                    let gs: f32 = grad.iter().zip(&da).map(|(g, x)| g * x).sum();
+                    self.nodes[s.idx()].grad[0] += gs;
+                }
+                Op::MulRow(a, b) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let db = self.nodes[b.idx()].data.clone();
+                    {
+                        let ga = &mut self.nodes[a.idx()].grad;
+                        for i2 in 0..rows {
+                            for j in 0..cols {
+                                ga[i2 * cols + j] += grad[i2 * cols + j] * db[j];
+                            }
+                        }
+                    }
+                    {
+                        let gb = &mut self.nodes[b.idx()].grad;
+                        for i2 in 0..rows {
+                            for j in 0..cols {
+                                gb[j] += grad[i2 * cols + j] * da[i2 * cols + j];
+                            }
+                        }
+                    }
+                }
+                Op::Scale(a, k) => {
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for (g, gr) in ga.iter_mut().zip(&grad) {
+                        *g += gr * k;
+                    }
+                }
+                Op::AddScalar(a) => add_assign(&mut self.nodes[a.idx()].grad, &grad),
+                Op::Abs(a) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                        *g += gr * if *x >= 0.0 { 1.0 } else { -1.0 };
+                    }
+                }
+                Op::Relu(a) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                        if *o > 0.0 {
+                            *g += gr;
+                        }
+                    }
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                        *g += gr * if *x > 0.0 { 1.0 } else { slope };
+                    }
+                }
+                Op::Tanh(a) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                        *g += gr * (1.0 - o * o);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                        *g += gr * o * (1.0 - o);
+                    }
+                }
+                Op::Exp(a) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                        *g += gr * o;
+                    }
+                }
+                Op::Ln(a) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                        *g += gr / x;
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut col_off = 0;
+                    for p in parts {
+                        let (pr, pc) = self.shape(p);
+                        let gp = &mut self.nodes[p.idx()].grad;
+                        for i2 in 0..pr {
+                            for j in 0..pc {
+                                gp[i2 * pc + j] += grad[i2 * cols + col_off + j];
+                            }
+                        }
+                        col_off += pc;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut row_off = 0;
+                    for p in parts {
+                        let (pr, pc) = self.shape(p);
+                        let gp = &mut self.nodes[p.idx()].grad;
+                        for i2 in 0..pr {
+                            for j in 0..pc {
+                                gp[i2 * pc + j] += grad[(row_off + i2) * cols + j];
+                            }
+                        }
+                        row_off += pr;
+                    }
+                }
+                Op::GatherRows(a, indices) => {
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for (k, &src) in indices.iter().enumerate() {
+                        for j in 0..cols {
+                            ga[src * cols + j] += grad[k * cols + j];
+                        }
+                    }
+                }
+                Op::RepeatRows(a, k) => {
+                    let (ar, _) = self.shape(a);
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for rep in 0..k {
+                        for i2 in 0..ar {
+                            for j in 0..cols {
+                                ga[i2 * cols + j] += grad[(rep * ar + i2) * cols + j];
+                            }
+                        }
+                    }
+                }
+                Op::RepeatInterleaveRows(a, k) => {
+                    let (ar, _) = self.shape(a);
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..ar {
+                        for rep in 0..k {
+                            for j in 0..cols {
+                                ga[i2 * cols + j] += grad[(i2 * k + rep) * cols + j];
+                            }
+                        }
+                    }
+                }
+                Op::Transpose(a) => {
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    // out is [rows, cols]; a is [cols, rows]
+                    for i2 in 0..rows {
+                        for j in 0..cols {
+                            ga[j * rows + i2] += grad[i2 * cols + j];
+                        }
+                    }
+                }
+                Op::Reshape(a) => add_assign(&mut self.nodes[a.idx()].grad, &grad),
+                Op::SumAll(a) => {
+                    let g = grad[0];
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    ga.iter_mut().for_each(|x| *x += g);
+                }
+                Op::MeanAll(a) => {
+                    let n = self.nodes[a.idx()].data.len().max(1);
+                    let g = grad[0] / n as f32;
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    ga.iter_mut().for_each(|x| *x += g);
+                }
+                Op::RowSum(a) => {
+                    let (_, ac) = self.shape(a);
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..rows {
+                        for j in 0..ac {
+                            ga[i2 * ac + j] += grad[i2];
+                        }
+                    }
+                }
+                Op::RowMean(a) => {
+                    let (_, ac) = self.shape(a);
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..rows {
+                        for j in 0..ac {
+                            ga[i2 * ac + j] += grad[i2] / ac as f32;
+                        }
+                    }
+                }
+                Op::MaskedSoftmaxRows(a, mask) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..rows {
+                        let p = &out[i2 * cols..(i2 + 1) * cols];
+                        let g = &grad[i2 * cols..(i2 + 1) * cols];
+                        let m = &mask[i2 * cols..(i2 + 1) * cols];
+                        let dot: f32 = p.iter().zip(g).map(|(pi, gi)| pi * gi).sum();
+                        for j in 0..cols {
+                            if m[j] {
+                                ga[i2 * cols + j] += p[j] * (g[j] - dot);
+                            }
+                        }
+                    }
+                }
+                Op::MaskedLogSoftmaxRows(a, mask) => {
+                    let out = self.nodes[i].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..rows {
+                        let lp = &out[i2 * cols..(i2 + 1) * cols];
+                        let g = &grad[i2 * cols..(i2 + 1) * cols];
+                        let m = &mask[i2 * cols..(i2 + 1) * cols];
+                        let gsum: f32 = (0..cols).filter(|&j| m[j]).map(|j| g[j]).sum();
+                        for j in 0..cols {
+                            if m[j] {
+                                ga[i2 * cols + j] += g[j] - lp[j].exp() * gsum;
+                            }
+                        }
+                    }
+                }
+                Op::PickElements(a, coords) => {
+                    let (_, ac) = self.shape(a);
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for (k, &(i2, j)) in coords.iter().enumerate() {
+                        ga[i2 * ac + j] += grad[k];
+                    }
+                }
+                Op::LayerNormRows(a, eps) => {
+                    let da = self.nodes[a.idx()].data.clone();
+                    let ga = &mut self.nodes[a.idx()].grad;
+                    for i2 in 0..rows {
+                        let row = &da[i2 * cols..(i2 + 1) * cols];
+                        let g = &grad[i2 * cols..(i2 + 1) * cols];
+                        let c = cols as f32;
+                        let mean = row.iter().sum::<f32>() / c;
+                        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / c;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let g_mean = g.iter().sum::<f32>() / c;
+                        let gx_mean: f32 =
+                            row.iter().zip(g).map(|(x, gi)| gi * (x - mean) * inv).sum::<f32>() / c;
+                        for j in 0..cols {
+                            let xhat = (row[j] - mean) * inv;
+                            ga[i2 * cols + j] += inv * (g[j] - g_mean - xhat * gx_mean);
+                        }
+                    }
+                }
+            }
+            self.nodes[i].grad = grad;
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// free helpers
+// -------------------------------------------------------------------
+
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usize) {
+    // i-k-j loop order: streams through b and out rows, good locality.
+    for i in 0..r {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * c..(i + 1) * c];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = &b[kk * c..(kk + 1) * c];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+fn sub_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d -= s;
+    }
+}
+
+fn mul_add_assign(dst: &mut [f32], g: &[f32], other: &[f32]) {
+    for ((d, gi), o) in dst.iter_mut().zip(g).zip(other) {
+        *d += gi * o;
+    }
+}
+
+fn softmax_row(x: &[f32], mask: &[bool], out: &mut [f32]) {
+    let mut max = f32::NEG_INFINITY;
+    for (v, &m) in x.iter().zip(mask) {
+        if m && *v > max {
+            max = *v;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for ((o, v), &m) in out.iter_mut().zip(x).zip(mask) {
+        if m {
+            *o = (v - max).exp();
+            sum += *o;
+        } else {
+            *o = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        out.iter_mut().for_each(|o| *o /= sum);
+    }
+}
+
+fn log_softmax_row(x: &[f32], mask: &[bool], out: &mut [f32]) {
+    let mut max = f32::NEG_INFINITY;
+    for (v, &m) in x.iter().zip(mask) {
+        if m && *v > max {
+            max = *v;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        return; // all entries stay -inf
+    }
+    let mut sum = 0.0f32;
+    for (v, &m) in x.iter().zip(mask) {
+        if m {
+            sum += (v - max).exp();
+        }
+    }
+    let log_z = max + sum.ln();
+    for ((o, v), &m) in out.iter_mut().zip(x).zip(mask) {
+        if m {
+            *o = v - log_z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    #[test]
+    fn matmul_forward() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t.constant(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = t.matmul(a, b);
+        assert_eq!(t.shape(c), (2, 2));
+        assert_eq!(t.data(c), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        // loss = sum(A @ B); dL/dA = ones @ B^T, dL/dB = A^T @ ones
+        let mut store = ParamStore::new(0);
+        let pa = store.add_param("a", 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let pb = store.add_param("b", 2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut t = Tape::new();
+        let a = t.param(&store, pa);
+        let b = t.param(&store, pb);
+        let c = t.matmul(a, b);
+        let l = t.sum_all(c);
+        t.backward(l, &mut store);
+        assert_eq!(store.grad(pa), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(store.grad(pb), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let mask = vec![true, true, false, true, true, true];
+        let s = t.masked_softmax_rows(a, &mask);
+        let d = t.data(s);
+        assert!((d[0] + d[1] - 1.0).abs() < 1e-6);
+        assert_eq!(d[2], 0.0, "masked entry must have zero probability");
+        assert!((d[3] + d[4] + d[5] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_masked_softmax_row_is_zero() {
+        let mut t = Tape::new();
+        let a = t.constant(1, 3, vec![1.0, 2.0, 3.0]);
+        let s = t.masked_softmax_rows(a, &[false, false, false]);
+        assert_eq!(t.data(s), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("logits", 1, 4, vec![0.1, 0.2, 0.3, 0.4]);
+        let mut t = Tape::new();
+        let logits = t.param(&store, p);
+        let mask = [true; 4];
+        let loss = t.masked_cross_entropy(logits, &mask, 2);
+        t.backward(loss, &mut store);
+        // analytic: softmax - onehot
+        let mut probs = [0.0f32; 4];
+        softmax_row(&[0.1, 0.2, 0.3, 0.4], &mask, &mut probs);
+        let expect: Vec<f32> =
+            probs.iter().enumerate().map(|(j, pj)| pj - if j == 2 { 1.0 } else { 0.0 }).collect();
+        assert!(approx_eq_slice(store.grad(p), &expect, 1e-5), "{:?} vs {:?}", store.grad(p), expect);
+    }
+
+    #[test]
+    fn add_outer_forward_backward() {
+        let mut store = ParamStore::new(0);
+        let pa = store.add_param("a", 2, 1, vec![1.0, 2.0]);
+        let pb = store.add_param("b", 3, 1, vec![10.0, 20.0, 30.0]);
+        let mut t = Tape::new();
+        let a = t.param(&store, pa);
+        let b = t.param(&store, pb);
+        let o = t.add_outer(a, b);
+        assert_eq!(t.data(o), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+        let l = t.sum_all(o);
+        t.backward(l, &mut store);
+        assert_eq!(store.grad(pa), &[3.0, 3.0]);
+        assert_eq!(store.grad(pb), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_rows_scatter_gradient() {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("emb", 3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut t = Tape::new();
+        let e = t.param(&store, p);
+        let g = t.gather_rows(e, &[2, 0, 2]);
+        assert_eq!(t.data(g), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let l = t.sum_all(g);
+        t.backward(l, &mut store);
+        // row 2 gathered twice, row 0 once, row 1 never.
+        assert_eq!(store.grad(p), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn layer_norm_rows_zero_mean_unit_var() {
+        let mut t = Tape::new();
+        let a = t.constant(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let n = t.layer_norm_rows(a, 1e-5);
+        let d = t.data(n);
+        let mean: f32 = d.iter().sum::<f32>() / 4.0;
+        let var: f32 = d.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn repeat_and_interleave_rows() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 1, vec![1.0, 2.0]);
+        let r = t.repeat_rows(a, 2);
+        assert_eq!(t.data(r), &[1.0, 2.0, 1.0, 2.0]);
+        let i = t.repeat_interleave_rows(a, 2);
+        assert_eq!(t.data(i), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_check_composite_expression() {
+        // loss = mean(tanh(X W + b) ⊙ sigmoid(X W + b)) — exercises many ops.
+        let mut store = ParamStore::new(3);
+        let w = store.add_xavier("w", 3, 4);
+        let b = store.add_zeros("b", 1, 4);
+        let x_data: Vec<f32> = (0..6).map(|i| (i as f32) / 3.0 - 1.0).collect();
+
+        let forward = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let x = t.constant(2, 3, x_data.clone());
+            let wv = t.param(store, w);
+            let bv = t.param(store, b);
+            let h = t.matmul(x, wv);
+            let h = t.add_row(h, bv);
+            let a = t.tanh(h);
+            let s = t.sigmoid(h);
+            let m = t.mul(a, s);
+            let l = t.mean_all(m);
+            t.scalar(l)
+        };
+
+        // analytic grads
+        let mut t = Tape::new();
+        let x = t.constant(2, 3, x_data.clone());
+        let wv = t.param(&store, w);
+        let bv = t.param(&store, b);
+        let h = t.matmul(x, wv);
+        let h = t.add_row(h, bv);
+        let a = t.tanh(h);
+        let s = t.sigmoid(h);
+        let m = t.mul(a, s);
+        let l = t.mean_all(m);
+        store.zero_grad();
+        t.backward(l, &mut store);
+        let gw = store.grad(w).to_vec();
+        let gb = store.grad(b).to_vec();
+
+        let worst_w = crate::grad_check(&mut store, w, &gw, 1e-2, forward);
+        let worst_b = crate::grad_check(&mut store, b, &gb, 1e-2, forward);
+        assert!(worst_w < 2e-3, "w gradient check failed: {worst_w}");
+        assert!(worst_b < 2e-3, "b gradient check failed: {worst_b}");
+    }
+
+    #[test]
+    fn grad_check_log_softmax_pick() {
+        let mut store = ParamStore::new(5);
+        let w = store.add_xavier("w", 1, 5);
+        let mask = vec![true, true, false, true, true];
+        let forward = |store: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let logits = t.param(store, w);
+            let loss = t.masked_cross_entropy(logits, &mask, 3);
+            t.scalar(loss)
+        };
+        let mut t = Tape::new();
+        let logits = t.param(&store, w);
+        let loss = t.masked_cross_entropy(logits, &mask, 3);
+        store.zero_grad();
+        t.backward(loss, &mut store);
+        let g = store.grad(w).to_vec();
+        let worst = crate::grad_check(&mut store, w, &g, 1e-2, forward);
+        assert!(worst < 2e-3, "log-softmax grad check failed: {worst}");
+        assert_eq!(g[2], 0.0, "masked logit must receive no gradient");
+    }
+
+    #[test]
+    fn mae_mse_losses() {
+        let mut t = Tape::new();
+        let p = t.constant(2, 1, vec![1.0, 4.0]);
+        let y = t.constant(2, 1, vec![2.0, 2.0]);
+        let mae = t.mae_loss(p, y);
+        let mse = t.mse_loss(p, y);
+        assert!((t.scalar(mae) - 1.5).abs() < 1e-6);
+        assert!((t.scalar(mse) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t.transpose(a);
+        let c = t.transpose(b);
+        assert_eq!(t.data(a), t.data(c));
+        assert_eq!(t.shape(b), (3, 2));
+        assert_eq!(t.data(b), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn matmul_shape_panics() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 3, vec![0.0; 6]);
+        let b = t.constant(2, 2, vec![0.0; 4]);
+        t.matmul(a, b);
+    }
+}

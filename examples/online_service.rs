@@ -1,0 +1,78 @@
+//! The §VI deployment demo: stands up the in-process RTP service
+//! (feature extraction → inference → applications) and drives it with a
+//! stream of simulated requests, printing what the two launched
+//! products would show — the courier's Intelligent Order Sorting list
+//! (Fig. 8a) and the user's Minute-Level ETA messages (Fig. 8b).
+//!
+//! ```sh
+//! cargo run --release --example online_service
+//! ```
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_eval::service::RtpService;
+use rtp_metrics::{hr_at_k, krc, mae, rmse};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+fn main() {
+    // Offline part: train the model that backs the inference layer,
+    // persist it (the paper's "pre-trained model packaged as M2G4RTP
+    // Service module"), and reload it as the online service would.
+    let dataset = DatasetBuilder::new(DatasetConfig::quick(2023)).build();
+    let mut model = M2G4Rtp::new(ModelConfig::for_dataset(&dataset), 11);
+    eprintln!("training the service model...");
+    Trainer::new(TrainConfig { epochs: 10, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+    let artifact = serde_json::to_string(&model.to_saved()).expect("serialise model");
+    eprintln!("packaged model artifact: {:.1} MB", artifact.len() as f64 / 1e6);
+    let model = M2G4Rtp::from_saved(serde_json::from_str(&artifact).expect("load model"));
+    let service = RtpService::new(model);
+
+    // Online part: a stream of RTP requests (here: test-split queries).
+    let mut latencies = Vec::new();
+    for (k, sample) in dataset.test.iter().take(5).enumerate() {
+        let courier = &dataset.couriers[sample.query.courier_id];
+        let resp = service.handle(&dataset.city, courier, &sample.query);
+        latencies.push(resp.latency_ms);
+
+        println!("--- request {k}: courier {} at t={:.0} min ---", courier.id, sample.query.time);
+        println!("Intelligent Order Sorting (courier app):");
+        for (rank, &o) in resp.sorted_orders.iter().enumerate() {
+            println!(
+                "  {:>2}. order #{o:<3} AOI {:<4} deadline t+{:.0} min",
+                rank + 1,
+                sample.query.orders[o].aoi_id,
+                sample.query.orders[o].deadline - sample.query.time
+            );
+        }
+        println!("Minute-Level ETA (user push messages):");
+        for eta in resp.etas.iter().take(3) {
+            println!("  order #{:<3} -> \"{}\"", eta.order_index, eta.text);
+        }
+        println!("handled in {:.2} ms\n", resp.latency_ms);
+    }
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    println!(
+        "served {} requests, mean latency {mean:.2} ms (the production system at Cainiao \
+         handles hundreds of thousands of such queries per day)",
+        latencies.len()
+    );
+
+    // §VI-style aggregate "online" quality over a larger request stream
+    // (the paper reports HR@3 66.89 / KRC 0.61 for order sorting and
+    // RMSE 31.11 / MAE 22.40 for the minute-level ETA in Shanghai).
+    let (mut hr3, mut kc, mut preds, mut labels) = (0.0, 0.0, Vec::new(), Vec::new());
+    let stream: Vec<_> = dataset.test.iter().take(100).collect();
+    for sample in &stream {
+        let courier = &dataset.couriers[sample.query.courier_id];
+        let resp = service.handle(&dataset.city, courier, &sample.query);
+        hr3 += hr_at_k(&resp.sorted_orders, &sample.truth.route, 3);
+        kc += krc(&resp.sorted_orders, &sample.truth.route);
+        for e in &resp.etas {
+            preds.push(e.eta_minutes);
+            labels.push(sample.truth.arrival[e.order_index]);
+        }
+    }
+    let n = stream.len() as f64;
+    println!("\naggregate service quality over {} requests:", stream.len());
+    println!("  Intelligent Order Sorting: HR@3 {:.2}%  KRC {:.3}", hr3 / n * 100.0, kc / n);
+    println!("  Minute-Level ETA:          RMSE {:.2}  MAE {:.2} (minutes)", rmse(&preds, &labels), mae(&preds, &labels));
+}

@@ -1,0 +1,58 @@
+//! Quickstart: generate a synthetic instant-logistics world, train
+//! M²G4RTP for a few epochs, and jointly predict the route and arrival
+//! times of one courier's unvisited locations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_metrics::{krc, mae};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+fn main() {
+    // 1. A small synthetic city with couriers, AOIs and pick-up orders.
+    let dataset = DatasetBuilder::new(DatasetConfig::quick(42)).build();
+    println!(
+        "dataset: {} train / {} val / {} test samples, {} AOIs, {} couriers",
+        dataset.train.len(),
+        dataset.val.len(),
+        dataset.test.len(),
+        dataset.city.aois.len(),
+        dataset.couriers.len()
+    );
+
+    // 2. Train the joint route-and-time model.
+    let mut model = M2G4Rtp::new(ModelConfig::for_dataset(&dataset), 7);
+    println!("model: {} parameters", model.num_parameters());
+    let report = Trainer::new(TrainConfig { epochs: 10, verbose: true, ..TrainConfig::quick() })
+        .fit(&mut model, &dataset);
+    println!(
+        "trained {} epochs in {:.1}s — best val KRC {:.3}, MAE {:.1} min",
+        report.epochs_run, report.train_seconds, report.best_val_krc, report.best_val_mae
+    );
+
+    // 3. Joint inference on one unseen query.
+    let sample = &dataset.test[0];
+    let prediction = model.predict_sample(&dataset, sample);
+    println!("\nquery: courier {} with {} unvisited locations across {} AOIs",
+        sample.query.courier_id,
+        sample.query.num_locations(),
+        sample.query.distinct_aois().len()
+    );
+    println!("predicted AOI sequence: {:?}", prediction.aoi_route);
+    println!("predicted route:        {:?}", prediction.route);
+    println!("actual route:           {:?}", sample.truth.route);
+    println!("route KRC:              {:.3}", krc(&prediction.route, &sample.truth.route));
+    println!("arrival-time MAE:       {:.1} min", mae(&prediction.times, &sample.truth.arrival));
+    for (step, &loc) in prediction.route.iter().enumerate() {
+        println!(
+            "  stop {:>2}: location {:>2} (AOI {:>3})  eta {:>5.1} min  (actual {:>5.1})",
+            step + 1,
+            loc,
+            sample.query.orders[loc].aoi_id,
+            prediction.times[loc],
+            sample.truth.arrival[loc]
+        );
+    }
+}

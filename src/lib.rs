@@ -1,0 +1,12 @@
+//! Umbrella crate for the M²G4RTP reproduction workspace.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`); re-exports the member crates for convenience.
+
+pub use m2g4rtp;
+pub use rtp_baselines;
+pub use rtp_eval;
+pub use rtp_graph;
+pub use rtp_metrics;
+pub use rtp_sim;
+pub use rtp_tensor;

@@ -1,0 +1,88 @@
+//! Integration of the baseline zoo with the shared evaluation path:
+//! every method produces comparable, metric-ready predictions, and the
+//! relative ordering of the training-free methods is sane.
+
+use rtp_baselines::{
+    Baseline, DistanceGreedy, Gbdt, GbdtConfig, OSquare, OSquareConfig, OrToolsLike, TimeGreedy,
+};
+use rtp_metrics::{krc, mae, RouteMetricAccumulator};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+#[test]
+fn heuristics_and_osquare_are_mutually_comparable() {
+    let d = DatasetBuilder::new(DatasetConfig::quick(41)).build();
+    let osquare = OSquare::fit(&d, &OSquareConfig::default());
+    let methods: Vec<(&str, Box<dyn Baseline>)> = vec![
+        ("dg", Box::new(DistanceGreedy)),
+        ("tg", Box::new(TimeGreedy)),
+        ("or", Box::new(OrToolsLike::default())),
+        ("os", Box::new(osquare)),
+    ];
+    let mut accs: Vec<RouteMetricAccumulator> =
+        methods.iter().map(|_| RouteMetricAccumulator::new()).collect();
+    for s in d.test.iter().take(60) {
+        for ((_, m), acc) in methods.iter().zip(&mut accs) {
+            let p = m.predict(&d, s);
+            acc.add(&p.route, &s.truth.route);
+        }
+    }
+    let all: Vec<f64> = accs
+        .iter()
+        .map(|a| a.finish(rtp_metrics::Bucket::All).expect("samples added").krc)
+        .collect();
+    // Learned OSquare must beat deadline ordering (which ignores both
+    // geometry and habit) on this habit+distance-driven world.
+    let (dg, tg, _or, os) = (all[0], all[1], all[2], all[3]);
+    assert!(os > tg, "OSquare ({os:.3}) must beat Time-Greedy ({tg:.3})");
+    assert!(dg > tg, "Distance-Greedy ({dg:.3}) must beat Time-Greedy ({tg:.3})");
+}
+
+#[test]
+fn osquare_time_model_beats_naive_fixed_speed() {
+    let d = DatasetBuilder::new(DatasetConfig::quick(42)).build();
+    let osquare = OSquare::fit(&d, &OSquareConfig::default());
+    let mut os_mae = 0.0;
+    let mut dg_mae = 0.0;
+    let mut n = 0usize;
+    for s in d.test.iter().take(60) {
+        let po = osquare.predict(&d, s);
+        let pd = DistanceGreedy.predict(&d, s);
+        os_mae += mae(&po.times, &s.truth.arrival) * s.truth.arrival.len() as f64;
+        dg_mae += mae(&pd.times, &s.truth.arrival) * s.truth.arrival.len() as f64;
+        n += s.truth.arrival.len();
+    }
+    let (os_mae, dg_mae) = (os_mae / n as f64, dg_mae / n as f64);
+    assert!(
+        os_mae < dg_mae,
+        "learned time model ({os_mae:.1} min) must beat fixed-speed ({dg_mae:.1} min) — \
+         the fixed-speed model ignores service times entirely"
+    );
+}
+
+#[test]
+fn gbdt_is_exposed_and_composable() {
+    // The GBDT substrate is a public API in its own right.
+    let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 50.0 - 1.0]).collect();
+    let ys: Vec<f32> = xs.iter().map(|x| if x[0] > 0.0 { 2.0 } else { -2.0 }).collect();
+    let g = Gbdt::fit(&xs, &ys, &GbdtConfig { n_trees: 30, ..Default::default() });
+    assert!(g.predict(&[0.8]) > 1.5);
+    assert!(g.predict(&[-0.8]) < -1.5);
+    assert_eq!(g.len(), 30);
+}
+
+#[test]
+fn route_metrics_agree_with_direct_computation() {
+    // The accumulator's all-bucket KRC must equal the hand-computed
+    // average over the same predictions.
+    let d = DatasetBuilder::new(DatasetConfig::tiny(43)).build();
+    let mut acc = RouteMetricAccumulator::new();
+    let mut direct = 0.0;
+    let take = d.test.len().min(20);
+    for s in d.test.iter().take(take) {
+        let p = DistanceGreedy.predict(&d, s);
+        acc.add(&p.route, &s.truth.route);
+        direct += krc(&p.route, &s.truth.route);
+    }
+    let got = acc.finish(rtp_metrics::Bucket::All).expect("non-empty").krc;
+    assert!((got - direct / take as f64).abs() < 1e-9);
+}

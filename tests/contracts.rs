@@ -1,0 +1,72 @@
+//! Contract tests: the library must fail loudly and descriptively on
+//! misuse, never silently produce garbage.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig};
+use rtp_graph::{GraphBuilder, GraphConfig};
+use rtp_sim::{DatasetBuilder, DatasetConfig, Point, RtpQuery, Weather};
+
+fn tiny() -> rtp_sim::Dataset {
+    DatasetBuilder::new(DatasetConfig::tiny(61)).build()
+}
+
+#[test]
+#[should_panic(expected = "no pipeline attached")]
+fn predicting_without_training_panics() {
+    let d = tiny();
+    let model = M2G4Rtp::new(ModelConfig::for_dataset(&d), 1);
+    let s = &d.test[0];
+    // build_graph requires the fitted pipeline
+    let _ = model.build_graph(&d.city, &d.couriers[s.query.courier_id], &s.query);
+}
+
+#[test]
+#[should_panic(expected = "empty query")]
+fn graph_builder_rejects_empty_queries() {
+    let d = tiny();
+    let empty = RtpQuery {
+        courier_id: 0,
+        time: 100.0,
+        courier_pos: Point { x: 0.0, y: 0.0 },
+        orders: vec![],
+        weather: Weather::Sunny,
+        weekday: 0,
+    };
+    GraphBuilder::new(GraphConfig::default()).build(&empty, &d.city, &d.couriers[0]);
+}
+
+#[test]
+#[should_panic(expected = "needs at least one sample")]
+fn gbdt_rejects_empty_training_sets() {
+    rtp_baselines::Gbdt::fit(&[], &[], &rtp_baselines::GbdtConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "cannot fit a scaler on zero graphs")]
+fn scaler_rejects_empty_fit() {
+    rtp_graph::FeatureScaler::fit_graphs(&[]);
+}
+
+#[test]
+#[should_panic(expected = "route length mismatch")]
+fn metrics_reject_mismatched_routes() {
+    rtp_metrics::lsd(&[0, 1, 2], &[0, 1]);
+}
+
+#[test]
+#[should_panic(expected = "duplicate item")]
+fn metrics_reject_duplicate_routes() {
+    rtp_metrics::ranks_of(&[0, 0, 1]);
+}
+
+#[test]
+fn model_config_validation_catches_all_head_divisibility_issues() {
+    let d = tiny();
+    for (dl, da, heads, ok) in [(48, 48, 4, true), (48, 48, 5, false), (30, 48, 4, false)] {
+        let mut c = ModelConfig::for_dataset(&d);
+        c.d_loc = dl;
+        c.d_aoi = da;
+        c.n_heads = heads;
+        let r = std::panic::catch_unwind(|| c.validate());
+        assert_eq!(r.is_ok(), ok, "d_loc={dl} d_aoi={da} heads={heads}");
+    }
+}

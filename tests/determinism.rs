@@ -1,0 +1,69 @@
+//! Reproducibility guarantees: everything in the pipeline is
+//! deterministic in its seeds — datasets, graphs, initialisation,
+//! training and inference.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_graph::{FeatureScaler, GraphBuilder, GraphConfig};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+#[test]
+fn datasets_are_bit_identical_across_builds() {
+    let a = DatasetBuilder::new(DatasetConfig::tiny(55)).build();
+    let b = DatasetBuilder::new(DatasetConfig::tiny(55)).build();
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+}
+
+#[test]
+fn different_seeds_give_different_datasets() {
+    let a = DatasetBuilder::new(DatasetConfig::tiny(1)).build();
+    let b = DatasetBuilder::new(DatasetConfig::tiny(2)).build();
+    assert_ne!(a.to_json().unwrap(), b.to_json().unwrap());
+}
+
+#[test]
+fn graph_construction_is_deterministic() {
+    let d = DatasetBuilder::new(DatasetConfig::tiny(56)).build();
+    let builder = GraphBuilder::new(GraphConfig::default());
+    let s = &d.train[0];
+    let c = &d.couriers[s.query.courier_id];
+    let g1 = builder.build(&s.query, &d.city, c);
+    let g2 = builder.build(&s.query, &d.city, c);
+    assert_eq!(g1.locations.cont, g2.locations.cont);
+    assert_eq!(g1.locations.adj, g2.locations.adj);
+    assert_eq!(g1.aois.edge, g2.aois.edge);
+}
+
+#[test]
+fn training_and_inference_are_deterministic_in_seeds() {
+    let run = || {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(57)).build();
+        let mut cfg = ModelConfig::for_dataset(&d);
+        cfg.d_loc = 16;
+        cfg.d_aoi = 16;
+        cfg.n_heads = 2;
+        cfg.n_layers = 1;
+        let mut model = M2G4Rtp::new(cfg, 9);
+        Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::quick() }).fit(&mut model, &d);
+        let p = model.predict_sample(&d, &d.test[0]);
+        (p.route, p.times)
+    };
+    let (r1, t1) = run();
+    let (r2, t2) = run();
+    assert_eq!(r1, r2, "routes must be identical across identical runs");
+    assert_eq!(t1, t2, "times must be identical across identical runs");
+}
+
+#[test]
+fn scaler_is_deterministic() {
+    let d = DatasetBuilder::new(DatasetConfig::tiny(58)).build();
+    let builder = GraphBuilder::new(GraphConfig::default());
+    let s1 = FeatureScaler::fit(&d, &builder);
+    let s2 = FeatureScaler::fit(&d, &builder);
+    let sample = &d.train[0];
+    let c = &d.couriers[sample.query.courier_id];
+    let mut g1 = builder.build(&sample.query, &d.city, c);
+    let mut g2 = builder.build(&sample.query, &d.city, c);
+    s1.apply(&mut g1);
+    s2.apply(&mut g2);
+    assert_eq!(g1.locations.cont, g2.locations.cont);
+}

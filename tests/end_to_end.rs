@@ -1,0 +1,98 @@
+//! Cross-crate integration: dataset generation → graph construction →
+//! model training → joint prediction → metric evaluation → service.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_baselines::{Baseline, DistanceGreedy};
+use rtp_eval::service::RtpService;
+use rtp_metrics::{krc, RouteMetricAccumulator, TimeMetricAccumulator};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+fn quick_trained_model(seed: u64) -> (rtp_sim::Dataset, M2G4Rtp) {
+    let dataset = DatasetBuilder::new(DatasetConfig::quick(seed)).build();
+    let mut cfg = ModelConfig::for_dataset(&dataset);
+    cfg.d_loc = 16;
+    cfg.d_aoi = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    let mut model = M2G4Rtp::new(cfg, seed);
+    Trainer::new(TrainConfig { epochs: 8, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+    (dataset, model)
+}
+
+#[test]
+fn trained_model_is_far_above_chance_and_near_the_geometric_heuristic() {
+    // CI-scale sanity: the down-sized test model (d=16, 1 layer, 8
+    // epochs, ~500 training samples) must be far above chance (random
+    // permutations have expected KRC 0) and competitive with the
+    // geometric heuristic. Beating Distance-Greedy *outright* requires
+    // learning courier habits, which needs the full-scale run — that is
+    // exactly what `rtp-eval`'s Table III harness demonstrates
+    // (M2G4RTP KRC 0.57 vs Distance-Greedy 0.35; see EXPERIMENTS.md).
+    let (dataset, model) = quick_trained_model(31);
+    let mut model_krc = 0.0;
+    let mut greedy_krc = 0.0;
+    for s in &dataset.test {
+        let p = model.predict_sample(&dataset, s);
+        model_krc += krc(&p.route, &s.truth.route);
+        let g = DistanceGreedy.predict(&dataset, s);
+        greedy_krc += krc(&g.route, &s.truth.route);
+    }
+    let n = dataset.test.len() as f64;
+    let (model_krc, greedy_krc) = (model_krc / n, greedy_krc / n);
+    assert!(model_krc > 0.25, "trained KRC {model_krc:.3} not clearly above chance");
+    assert!(
+        model_krc > greedy_krc - 0.2,
+        "trained KRC {model_krc:.3} unreasonably far below the geometric heuristic ({greedy_krc:.3})"
+    );
+}
+
+#[test]
+fn metric_accumulators_work_on_real_predictions() {
+    let (dataset, model) = quick_trained_model(32);
+    let mut racc = RouteMetricAccumulator::new();
+    let mut tacc = TimeMetricAccumulator::new();
+    for s in dataset.test.iter().take(30) {
+        let p = model.predict_sample(&dataset, s);
+        racc.add(&p.route, &s.truth.route);
+        tacc.add(&p.times, &s.truth.arrival, s.query.num_locations());
+    }
+    let all = racc.finish(rtp_metrics::Bucket::All).expect("samples were added");
+    assert!(all.hr3 >= 0.0 && all.hr3 <= 100.0);
+    assert!(all.krc >= -1.0 && all.krc <= 1.0);
+    assert!(all.lsd >= 0.0);
+    let t = tacc.finish(rtp_metrics::Bucket::All).expect("locations were added");
+    assert!(t.rmse >= t.mae, "RMSE >= MAE always");
+    assert!(t.acc20 >= 0.0 && t.acc20 <= 100.0);
+}
+
+#[test]
+fn service_layer_round_trips_a_request() {
+    let (dataset, model) = quick_trained_model(33);
+    let service = RtpService::new(model);
+    let s = &dataset.test[0];
+    let courier = &dataset.couriers[s.query.courier_id];
+    let resp = service.handle(&dataset.city, courier, &s.query);
+    assert_eq!(resp.sorted_orders.len(), s.query.num_locations());
+    assert_eq!(resp.aoi_sequence.len(), s.query.distinct_aois().len());
+    assert!(resp.etas.iter().all(|e| e.eta_minutes.is_finite()));
+}
+
+#[test]
+fn predictions_respect_aoi_first_visit_consistency() {
+    // The AOI-level route must equal the first-visit order induced by
+    // the location-level route when both come from the same prediction
+    // in a NoAoi-derived setting; for the full model they are separate
+    // decoders, so we only check structural validity here.
+    let (dataset, model) = quick_trained_model(34);
+    for s in dataset.test.iter().take(20) {
+        let p = model.predict_sample(&dataset, s);
+        let m = s.query.distinct_aois().len();
+        let mut seen = vec![false; m];
+        for &a in &p.aoi_route {
+            assert!(a < m, "AOI index out of range");
+            assert!(!seen[a], "AOI repeated in AOI route");
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "AOI route must cover all AOIs");
+    }
+}

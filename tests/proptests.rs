@@ -1,0 +1,146 @@
+//! Property-based tests on the workspace's core invariants: metric
+//! bounds, tensor-op algebra, simulator permutation/monotonicity
+//! guarantees and decoder output validity.
+
+use proptest::prelude::*;
+use rtp_metrics::{acc_at, hr_at_k, krc, lsd, mae, ranks_of, rmse};
+use rtp_tensor::{ParamStore, Tape};
+
+/// Strategy: a random permutation of 0..n.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn krc_is_bounded_and_symmetric_under_identity((a, b) in (2usize..12).prop_flat_map(|n| (permutation(n), permutation(n)))) {
+        let v = krc(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert_eq!(krc(&a, &a), 1.0);
+        // KRC is symmetric in its arguments
+        prop_assert!((krc(&a, &b) - krc(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversing_a_route_negates_krc(a in (2usize..12).prop_flat_map(permutation)) {
+        let mut rev = a.clone();
+        rev.reverse();
+        prop_assert!((krc(&rev, &a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hr_and_lsd_bounds((a, b) in (4usize..12).prop_flat_map(|n| (permutation(n), permutation(n)))) {
+        let h = hr_at_k(&a, &b, 3);
+        prop_assert!((0.0..=1.0).contains(&h));
+        let l = lsd(&a, &b);
+        let n = a.len() as f64;
+        prop_assert!(l >= 0.0);
+        // max LSD is bounded by (n-1)^2
+        prop_assert!(l <= (n - 1.0) * (n - 1.0));
+        prop_assert_eq!(lsd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ranks_of_inverts_routes(a in (1usize..16).prop_flat_map(permutation)) {
+        let ranks = ranks_of(&a);
+        for (pos, &item) in a.iter().enumerate() {
+            prop_assert_eq!(ranks[item], pos);
+        }
+    }
+
+    #[test]
+    fn rmse_dominates_mae(pred in prop::collection::vec(-200.0f32..200.0, 1..40),
+                          err in prop::collection::vec(-50.0f32..50.0, 1..40)) {
+        let n = pred.len().min(err.len());
+        let p = &pred[..n];
+        let y: Vec<f32> = p.iter().zip(&err[..n]).map(|(a, e)| a + e).collect();
+        prop_assert!(rmse(p, &y) + 1e-6 >= mae(p, &y));
+        prop_assert!((0.0..=100.0).contains(&acc_at(p, &y, 20.0)));
+    }
+
+    #[test]
+    fn tensor_matmul_matches_reference(a in prop::collection::vec(-2.0f32..2.0, 6),
+                                       b in prop::collection::vec(-2.0f32..2.0, 6)) {
+        let mut t = Tape::new();
+        let ta = t.constant(2, 3, a.clone());
+        let tb = t.constant(3, 2, b.clone());
+        let tc = t.matmul(ta, tb);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect: f32 = (0..3).map(|k| a[i * 3 + k] * b[k * 2 + j]).sum();
+                prop_assert!((t.data(tc)[i * 2 + j] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(vals in prop::collection::vec(-10.0f32..10.0, 12),
+                                      mask in prop::collection::vec(any::<bool>(), 12)) {
+        let mut t = Tape::new();
+        let x = t.constant(3, 4, vals);
+        let s = t.masked_softmax_rows(x, &mask);
+        let d = t.data(s);
+        for i in 0..3 {
+            let row = &d[i * 4..(i + 1) * 4];
+            let row_mask = &mask[i * 4..(i + 1) * 4];
+            let sum: f32 = row.iter().sum();
+            if row_mask.iter().any(|&m| m) {
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row sums to {sum}");
+            } else {
+                prop_assert_eq!(sum, 0.0);
+            }
+            for (v, &m) in row.iter().zip(row_mask) {
+                prop_assert!(*v >= 0.0);
+                if !m {
+                    prop_assert_eq!(*v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_are_finite_for_random_expressions(
+        x in prop::collection::vec(-3.0f32..3.0, 8),
+        w in prop::collection::vec(-1.5f32..1.5, 16),
+    ) {
+        let mut store = ParamStore::new(1);
+        let wp = store.add_param("w", 4, 4, w);
+        let mut t = Tape::new();
+        let xv = t.constant(2, 4, x);
+        let wv = t.param(&store, wp);
+        let h = t.matmul(xv, wv);
+        let a = t.tanh(h);
+        let b = t.sigmoid(h);
+        let c = t.mul(a, b);
+        let n = t.layer_norm_rows(c, 1e-5);
+        let loss = t.mean_all(n);
+        t.backward(loss, &mut store);
+        prop_assert!(store.grad(wp).iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn simulator_truth_is_always_a_valid_label(seed in 0u64..500) {
+        let d = rtp_sim::DatasetBuilder::new(rtp_sim::DatasetConfig::tiny(seed)).build();
+        if let Some(s) = d.train.first() {
+            let n = s.query.num_locations();
+            let mut seen = vec![false; n];
+            for &i in &s.truth.route {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+            // arrival times increase along the route
+            for w in s.truth.route.windows(2) {
+                prop_assert!(s.truth.arrival[w[1]] > s.truth.arrival[w[0]]);
+            }
+            // AOI arrival = first member location arrival
+            let order_aoi = s.query.order_aoi_indices();
+            for (k, &t_aoi) in s.truth.aoi_arrival.iter().enumerate() {
+                let first = s.truth.route.iter().find(|&&i| order_aoi[i] == k).unwrap();
+                prop_assert_eq!(t_aoi, s.truth.arrival[*first]);
+            }
+        }
+    }
+}
