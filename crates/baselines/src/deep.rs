@@ -23,7 +23,8 @@ use rtp_graph::{FeatureScaler, GraphBuilder, GraphConfig, MultiLevelGraph};
 use rtp_sim::{Dataset, RtpSample};
 use rtp_tensor::nn::{positional_encoding, Embedding, Linear, LstmCell, Mlp};
 use rtp_tensor::optim::{Adam, Optimizer};
-use rtp_tensor::{ParamStore, Tape, TensorId};
+use rtp_tensor::parallel::parallel_map_ordered;
+use rtp_tensor::{GradBuffer, ParamStore, Tape, TensorId};
 use serde::{Deserialize, Serialize};
 
 use crate::Baseline;
@@ -82,6 +83,9 @@ pub struct DeepConfig {
     pub seed: u64,
     /// Print progress.
     pub verbose: bool,
+    /// Worker threads for the data-parallel mini-batch loop
+    /// (0 = all cores). Results are bit-identical for every setting.
+    pub threads: usize,
 }
 
 impl DeepConfig {
@@ -102,6 +106,7 @@ impl DeepConfig {
             patience: 3,
             seed,
             verbose: false,
+            threads: 0,
         }
     }
 
@@ -287,16 +292,14 @@ impl DeepBaseline {
             config.d_disc,
             d,
         );
-        let courier_emb = Embedding::new(
-            &mut store,
-            "courier_emb",
-            dataset.couriers.len() + 1,
-            config.d_courier,
-        );
+        let courier_emb =
+            Embedding::new(&mut store, "courier_emb", dataset.couriers.len() + 1, config.d_courier);
         let encoder = match kind {
             DeepKind::DeepRoute => DeepEncoder::Transformer(
                 (0..config.n_layers)
-                    .map(|k| TransformerLayer::new(&mut store, &format!("enc.l{k}"), d, config.n_heads))
+                    .map(|k| {
+                        TransformerLayer::new(&mut store, &format!("enc.l{k}"), d, config.n_heads)
+                    })
                     .collect(),
             ),
             DeepKind::Fdnet => DeepEncoder::Lstm(LstmCell::new(&mut store, "enc.lstm", d, d)),
@@ -391,9 +394,7 @@ impl DeepBaseline {
         for (pos, &loc) in route.iter().enumerate() {
             let step_dist = match prev {
                 None => g.locations.cont[loc * g.locations.cont_dim + 2].abs(),
-                Some(p) => {
-                    g.locations.edge[(p * n + loc) * g.locations.edge_dim..][..1][0].abs()
-                }
+                Some(p) => g.locations.edge[(p * n + loc) * g.locations.edge_dim..][..1][0].abs(),
             };
             cum += step_dist;
             let rep = t.row(reps, loc);
@@ -419,8 +420,11 @@ impl DeepBaseline {
             samples
                 .par_iter()
                 .map(|s| {
-                    let mut g =
-                        builder.build(&s.query, &dataset.city, &dataset.couriers[s.query.courier_id]);
+                    let mut g = builder.build(
+                        &s.query,
+                        &dataset.city,
+                        &dataset.couriers[s.query.courier_id],
+                    );
                     scaler.apply(&mut g);
                     g
                 })
@@ -441,18 +445,25 @@ impl DeepBaseline {
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
                 let frozen = self.store.clone();
-                for &i in batch {
+                let this = &*self;
+                let shards = parallel_map_ordered(batch.len(), this.config.threads, |k| {
+                    let i = batch[k];
                     let mut t = Tape::new();
-                    let reps = self.encode(&mut t, &frozen, &train_graphs[i]);
-                    let u = self.courier_repr(&mut t, &frozen, &train_graphs[i]);
-                    let loss = self.route_dec.train_loss(
+                    let reps = this.encode(&mut t, &frozen, &train_graphs[i]);
+                    let u = this.courier_repr(&mut t, &frozen, &train_graphs[i]);
+                    let loss = this.route_dec.train_loss(
                         &mut t,
                         &frozen,
                         reps,
                         u,
                         &dataset.train[i].truth.route,
                     );
-                    t.backward(loss, &mut self.store);
+                    let mut buffer = GradBuffer::zeros_like(&frozen);
+                    t.backward_into(loss, &mut buffer);
+                    buffer
+                });
+                for buffer in &shards {
+                    self.store.accumulate(buffer);
                 }
                 self.store.scale_grad(1.0 / batch.len() as f32);
                 self.store.clip_grad_norm(self.config.grad_clip);
@@ -485,22 +496,25 @@ impl DeepBaseline {
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
                 let frozen = self.store.clone();
-                for &i in batch {
+                let this = &*self;
+                let shards = parallel_map_ordered(batch.len(), this.config.threads, |k| {
+                    let i = batch[k];
                     let g = &train_graphs[i];
                     let mut t = Tape::new();
-                    let reps = self.encode(&mut t, &frozen, g);
-                    let u = self.courier_repr(&mut t, &frozen, g);
-                    let route = self.route_dec.decode(&mut t, &frozen, reps, u);
-                    let pred = self.time_forward(&mut t, &frozen, g, reps, &route);
-                    let target: Vec<f32> = dataset.train[i]
-                        .truth
-                        .arrival
-                        .iter()
-                        .map(|&v| v / TIME_SCALE)
-                        .collect();
+                    let reps = this.encode(&mut t, &frozen, g);
+                    let u = this.courier_repr(&mut t, &frozen, g);
+                    let route = this.route_dec.decode(&mut t, &frozen, reps, u);
+                    let pred = this.time_forward(&mut t, &frozen, g, reps, &route);
+                    let target: Vec<f32> =
+                        dataset.train[i].truth.arrival.iter().map(|&v| v / TIME_SCALE).collect();
                     let y = t.constant(target.len(), 1, target);
                     let loss = t.mae_loss(pred, y);
-                    t.backward(loss, &mut self.store);
+                    let mut buffer = GradBuffer::zeros_like(&frozen);
+                    t.backward_into(loss, &mut buffer);
+                    buffer
+                });
+                for buffer in &shards {
+                    self.store.accumulate(buffer);
                 }
                 // freeze everything but the time head
                 let ids: Vec<_> = self.store.iter_ids().collect();
@@ -585,11 +599,8 @@ impl Baseline for DeepBaseline {
     fn predict(&self, dataset: &Dataset, sample: &RtpSample) -> Prediction {
         let (builder, scaler) =
             self.pipeline.as_ref().expect("DeepBaseline::fit must run before predict");
-        let mut g = builder.build(
-            &sample.query,
-            &dataset.city,
-            &dataset.couriers[sample.query.courier_id],
-        );
+        let mut g =
+            builder.build(&sample.query, &dataset.city, &dataset.couriers[sample.query.courier_id]);
         scaler.apply(&mut g);
         self.predict_graph(&g)
     }

@@ -56,12 +56,7 @@ impl Tree {
     }
 
     /// Fits a tree to `(features, targets)` restricted to `indices`.
-    fn fit(
-        features: &[Vec<f32>],
-        targets: &[f32],
-        indices: Vec<usize>,
-        cfg: &GbdtConfig,
-    ) -> Self {
+    fn fit(features: &[Vec<f32>], targets: &[f32], indices: Vec<usize>, cfg: &GbdtConfig) -> Self {
         let mut nodes = Vec::new();
         Self::build(features, targets, indices, 0, cfg, &mut nodes);
         Self { nodes }
@@ -133,8 +128,7 @@ fn best_split(
             let right_sum = total_sum - left_sum;
             // maximising sum-of-squared-means is equivalent to
             // minimising SSE
-            let gain = left_sum * left_sum / left_n as f64
-                + right_sum * right_sum / right_n as f64;
+            let gain = left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
             if best.is_none_or(|(_, _, g)| gain > g) {
                 let threshold = 0.5 * (features[order[k]][f] + features[order[k + 1]][f]);
                 best = Some((f, threshold, gain));
@@ -211,12 +205,9 @@ mod tests {
     fn fits_a_step_function_exactly() {
         let (xs, ys) = synthetic(200, 1, |x| if x[0] > 0.2 { 5.0 } else { -3.0 });
         let g = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
-        let mse: f32 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y))
-            .sum::<f32>()
-            / xs.len() as f32;
+        let mse: f32 =
+            xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y)).sum::<f32>()
+                / xs.len() as f32;
         assert!(mse < 0.01, "step function not learned: mse {mse}");
     }
 
@@ -224,12 +215,9 @@ mod tests {
     fn fits_a_smooth_nonlinear_function() {
         let (xs, ys) = synthetic(400, 2, |x| x[0] * x[0] + 0.5 * x[1] - x[2] * x[0]);
         let g = Gbdt::fit(&xs, &ys, &GbdtConfig { n_trees: 120, ..GbdtConfig::default() });
-        let mse: f32 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y))
-            .sum::<f32>()
-            / xs.len() as f32;
+        let mse: f32 =
+            xs.iter().zip(&ys).map(|(x, y)| (g.predict(x) - y) * (g.predict(x) - y)).sum::<f32>()
+                / xs.len() as f32;
         let var: f32 = {
             let m = ys.iter().sum::<f32>() / ys.len() as f32;
             ys.iter().map(|y| (y - m) * (y - m)).sum::<f32>() / ys.len() as f32

@@ -212,9 +212,8 @@ mod tests {
         let p = DistanceGreedy.predict(&d, s);
         let dists: Vec<f32> =
             s.query.orders.iter().map(|o| o.pos.dist(&s.query.courier_pos)).collect();
-        let nearest = (0..dists.len())
-            .min_by(|&a, &b| dists[a].partial_cmp(&dists[b]).unwrap())
-            .unwrap();
+        let nearest =
+            (0..dists.len()).min_by(|&a, &b| dists[a].partial_cmp(&dists[b]).unwrap()).unwrap();
         assert_eq!(p.route[0], nearest);
     }
 
@@ -242,7 +241,8 @@ mod tests {
         for s in &d.test {
             let q = &s.query;
             or_total += OrToolsLike::path_length(q.courier_pos, q, &or.predict(&d, s).route);
-            tg_total += OrToolsLike::path_length(q.courier_pos, q, &TimeGreedy.predict(&d, s).route);
+            tg_total +=
+                OrToolsLike::path_length(q.courier_pos, q, &TimeGreedy.predict(&d, s).route);
         }
         assert!(or_total < tg_total, "OR-Tools {or_total} not shorter than Time-Greedy {tg_total}");
     }

@@ -203,12 +203,9 @@ mod tests {
     fn osquare_beats_chance_on_route_order() {
         let d = DatasetBuilder::new(DatasetConfig::quick(92)).build();
         let model = OSquare::fit(&d, &OSquareConfig::default());
-        let mean_krc: f64 = d
-            .test
-            .iter()
-            .map(|s| krc(&model.predict(&d, s).route, &s.truth.route))
-            .sum::<f64>()
-            / d.test.len() as f64;
+        let mean_krc: f64 =
+            d.test.iter().map(|s| krc(&model.predict(&d, s).route, &s.truth.route)).sum::<f64>()
+                / d.test.len() as f64;
         assert!(mean_krc > 0.2, "OSquare KRC {mean_krc} not above chance");
     }
 }

@@ -1,12 +1,12 @@
 //! GAT-e encoder forward cost as a function of the number of location
 //! nodes — the N²F² term of the paper's Table V complexity analysis.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use m2g4rtp::{EdgeEmbedder, GatEncoder, NodeEmbedder};
 use rtp_graph::{GraphBuilder, GraphConfig, LevelGraph, MultiLevelGraph};
 use rtp_sim::{City, CityConfig, Order, Point, RtpQuery, Weather};
 use rtp_tensor::{ParamStore, Tape};
+use std::time::Duration;
 
 /// Builds a synthetic query with exactly `n` locations.
 fn query_with_n(city: &City, n: usize) -> (RtpQuery, MultiLevelGraph, rtp_sim::Courier) {

@@ -2,7 +2,6 @@
 //! comparison. Uses briefly trained models — latency is
 //! weight-independent — and one representative query per size bucket.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtp_baselines::{
     Baseline, DeepBaseline, DeepConfig, DeepKind, DistanceGreedy, OSquare, OSquareConfig,
@@ -10,15 +9,13 @@ use rtp_baselines::{
 };
 use rtp_bench::{bench_dataset, bench_model, sample_near_n};
 use rtp_eval::M2gPredictor;
+use std::time::Duration;
 
 fn bench_inference(c: &mut Criterion) {
     let dataset = bench_dataset();
 
-    let mut predictors: Vec<Box<dyn Baseline>> = vec![
-        Box::new(DistanceGreedy),
-        Box::new(TimeGreedy),
-        Box::new(OrToolsLike::default()),
-    ];
+    let mut predictors: Vec<Box<dyn Baseline>> =
+        vec![Box::new(DistanceGreedy), Box::new(TimeGreedy), Box::new(OrToolsLike::default())];
     let osq_cfg = OSquareConfig::default();
     predictors.push(Box::new(OSquare::fit(&dataset, &osq_cfg)));
     for kind in [DeepKind::DeepRoute, DeepKind::Fdnet, DeepKind::Graph2Route] {
@@ -39,11 +36,9 @@ fn bench_inference(c: &mut Criterion) {
     for n in [8usize, 16] {
         let sample = sample_near_n(&dataset, n);
         for p in &predictors {
-            group.bench_with_input(
-                BenchmarkId::new(p.name(), format!("n~{n}")),
-                sample,
-                |b, s| b.iter(|| std::hint::black_box(p.predict(&dataset, s))),
-            );
+            group.bench_with_input(BenchmarkId::new(p.name(), format!("n~{n}")), sample, |b, s| {
+                b.iter(|| std::hint::black_box(p.predict(&dataset, s)))
+            });
         }
     }
     group.finish();

@@ -1,12 +1,12 @@
 //! Throughput of the data substrate: city generation, courier-behaviour
 //! simulation and multi-level graph construction.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtp_graph::{GraphBuilder, GraphConfig};
 use rtp_sim::{BehaviorConfig, BehaviorSim, City, CityConfig, DatasetBuilder, DatasetConfig};
+use std::time::Duration;
 
 fn bench_city_generation(c: &mut Criterion) {
     let cfg = CityConfig::default();

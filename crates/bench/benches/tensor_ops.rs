@@ -2,10 +2,10 @@
 //! training time (matmul, masked softmax, LSTM step) and a full
 //! forward+backward pass of a representative composite.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtp_tensor::nn::{Linear, LstmCell};
 use rtp_tensor::{ParamStore, Tape};
+use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");

@@ -1,0 +1,82 @@
+//! Data-parallel training throughput: samples/sec of the M²G4RTP
+//! mini-batch loop at 1, 2 and N worker threads (N = all cores).
+//!
+//! Measures [`TrainReport::train_loop_seconds`] — the forward/backward
+//! shard loop plus the ordered gradient reduction and optimizer step —
+//! so dataset preparation and validation passes do not dilute the
+//! scaling number. Writes `results/training_throughput.json`.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_bench::bench_dataset;
+use rtp_tensor::parallel::resolve_threads;
+
+const EPOCHS: usize = 2;
+
+struct Row {
+    threads: usize,
+    samples_per_sec: f64,
+    loop_seconds: f64,
+    final_loss_bits: u32,
+}
+
+fn measure(threads: usize) -> Row {
+    let dataset = bench_dataset();
+    let mut model = M2G4Rtp::new(ModelConfig::for_dataset(&dataset), 7);
+    let cfg = TrainConfig { epochs: EPOCHS, patience: usize::MAX, threads, ..TrainConfig::quick() };
+    let report = Trainer::new(cfg).fit(&mut model, &dataset);
+    let samples = (report.epochs_run * dataset.train.len()) as f64;
+    Row {
+        threads,
+        samples_per_sec: samples / report.train_loop_seconds.max(1e-9),
+        loop_seconds: report.train_loop_seconds,
+        final_loss_bits: report
+            .history
+            .last()
+            .expect("ran at least one epoch")
+            .train_loss
+            .to_bits(),
+    }
+}
+
+fn main() {
+    let cores = resolve_threads(0);
+    let mut settings = vec![1usize, 2, cores];
+    settings.sort_unstable();
+    settings.dedup();
+
+    let rows: Vec<Row> = settings.iter().map(|&t| measure(t)).collect();
+    let base = rows[0].samples_per_sec;
+    for r in &rows {
+        println!(
+            "threads {:>2}: {:>8.2} samples/sec  ({:.2}x vs 1 thread, loop {:.2}s)",
+            r.threads,
+            r.samples_per_sec,
+            r.samples_per_sec / base,
+            r.loop_seconds
+        );
+    }
+    let identical = rows.iter().all(|r| r.final_loss_bits == rows[0].final_loss_bits);
+    println!("final-epoch loss bit-identical across thread counts: {identical}");
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"samples_per_sec\": {:.3}, \"loop_seconds\": {:.4}, \"speedup_vs_1\": {:.3}}}",
+                r.threads,
+                r.samples_per_sec,
+                r.loop_seconds,
+                r.samples_per_sec / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"training_throughput\",\n  \"epochs\": {EPOCHS},\n  \"cores_available\": {cores},\n  \"loss_bit_identical_across_threads\": {identical},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let path = out.join("training_throughput.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {}", path.display());
+}

@@ -32,6 +32,8 @@ pub enum Command {
         variant: String,
         /// Training seed.
         seed: u64,
+        /// Worker threads for the mini-batch loop (0 = all cores).
+        threads: usize,
         /// Output model path.
         out: String,
     },
@@ -86,7 +88,7 @@ rtp — M2G4RTP route & time prediction toolkit
 
 USAGE:
   rtp generate --scale <tiny|quick|full> [--seed N] --out <dataset.json>
-  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] --out <model.json>
+  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] --out <model.json>
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
   rtp evaluate --model <model.json> --dataset <dataset.json>
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
@@ -111,6 +113,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut dataset = String::new();
     let mut model = String::new();
     let mut epochs = 0usize;
+    let mut threads = 0usize;
     let mut variant = "full".to_string();
     let mut sample = 0usize;
     let mut beam = 1usize;
@@ -121,14 +124,15 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
         match flag {
             "--scale" => scale = v(&mut it)?,
-            "--seed" => {
-                seed = v(&mut it)?.parse().map_err(|_| ParseError("bad --seed".into()))?
-            }
+            "--seed" => seed = v(&mut it)?.parse().map_err(|_| ParseError("bad --seed".into()))?,
             "--out" => out = v(&mut it)?,
             "--dataset" => dataset = v(&mut it)?,
             "--model" => model = v(&mut it)?,
             "--epochs" => {
                 epochs = v(&mut it)?.parse().map_err(|_| ParseError("bad --epochs".into()))?
+            }
+            "--threads" => {
+                threads = v(&mut it)?.parse().map_err(|_| ParseError("bad --threads".into()))?
             }
             "--variant" => variant = v(&mut it)?,
             "--sample" => {
@@ -168,7 +172,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             {
                 return Err(ParseError(format!("unknown variant `{variant}`")));
             }
-            Command::Train { dataset, epochs, variant, seed, out }
+            Command::Train { dataset, epochs, variant, seed, threads, out }
         }
         "predict" => {
             require("model", &model)?;
@@ -200,7 +204,8 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cli = parse(&["generate", "--scale", "tiny", "--seed", "9", "--out", "d.json"]).unwrap();
+        let cli =
+            parse(&["generate", "--scale", "tiny", "--seed", "9", "--out", "d.json"]).unwrap();
         assert_eq!(
             cli.command,
             Command::Generate { scale: "tiny".into(), seed: 9, out: "d.json".into() }
@@ -211,26 +216,51 @@ mod tests {
     fn parses_train_with_defaults() {
         let cli = parse(&["train", "--dataset", "d.json", "--out", "m.json"]).unwrap();
         match cli.command {
-            Command::Train { epochs, variant, seed, .. } => {
+            Command::Train { epochs, variant, seed, threads, .. } => {
                 assert_eq!(epochs, 0);
                 assert_eq!(variant, "full");
                 assert_eq!(seed, 2023);
+                assert_eq!(threads, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
     }
 
     #[test]
+    fn parses_train_threads() {
+        let cli =
+            parse(&["train", "--dataset", "d.json", "--out", "m.json", "--threads", "4"]).unwrap();
+        assert!(matches!(cli.command, Command::Train { threads: 4, .. }));
+        assert!(parse(&["train", "--dataset", "d", "--out", "m", "--threads", "x"]).is_err());
+    }
+
+    #[test]
     fn parses_serve_and_predict() {
         let cli = parse(&[
-            "serve", "--model", "m.json", "--dataset", "d.json", "--port", "7878",
-            "--max-requests", "5",
+            "serve",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--port",
+            "7878",
+            "--max-requests",
+            "5",
         ])
         .unwrap();
         assert!(matches!(cli.command, Command::Serve { port: 7878, max_requests: 5, .. }));
-        let cli =
-            parse(&["predict", "--model", "m.json", "--dataset", "d.json", "--sample", "3", "--beam", "4"])
-                .unwrap();
+        let cli = parse(&[
+            "predict",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--sample",
+            "3",
+            "--beam",
+            "4",
+        ])
+        .unwrap();
         assert!(matches!(cli.command, Command::Predict { sample: 3, beam: 4, .. }));
     }
 

@@ -3,7 +3,9 @@
 use std::fs;
 
 use m2g4rtp::{M2G4Rtp, ModelConfig, SavedModel, TrainConfig, Trainer, Variant};
-use rtp_metrics::{acc_at, hr_at_k, krc, lsd, mae, rmse, Bucket, RouteMetricAccumulator, TimeMetricAccumulator};
+use rtp_metrics::{
+    acc_at, hr_at_k, krc, lsd, mae, rmse, Bucket, RouteMetricAccumulator, TimeMetricAccumulator,
+};
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
 
 use crate::args::Command;
@@ -37,7 +39,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             )?;
             Ok(0)
         }
-        Command::Train { dataset, epochs, variant, seed, out: path } => {
+        Command::Train { dataset, epochs, variant, seed, threads, out: path } => {
             let dataset = load_dataset(&dataset)?;
             let variant = match variant.as_str() {
                 "full" => Variant::Full,
@@ -47,13 +49,18 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 "no-uncertainty" => Variant::NoUncertainty,
                 other => unreachable!("parser rejects variant {other}"),
             };
-            let mut train_cfg = TrainConfig { verbose: true, ..TrainConfig::quick() };
+            let mut train_cfg = TrainConfig { verbose: true, threads, ..TrainConfig::quick() };
             if epochs > 0 {
                 train_cfg.epochs = epochs;
             }
             let mut model =
                 M2G4Rtp::new(ModelConfig::for_dataset(&dataset).with_variant(variant), seed);
-            writeln!(out, "training {} ({} parameters)...", variant.label(), model.num_parameters())?;
+            writeln!(
+                out,
+                "training {} ({} parameters)...",
+                variant.label(),
+                model.num_parameters()
+            )?;
             let report = Trainer::new(train_cfg).fit(&mut model, &dataset);
             writeln!(
                 out,
@@ -68,12 +75,22 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
             let Some(s) = dataset.test.get(sample) else {
-                writeln!(out, "sample index {sample} out of range (test has {})", dataset.test.len())?;
+                writeln!(
+                    out,
+                    "sample index {sample} out of range (test has {})",
+                    dataset.test.len()
+                )?;
                 return Ok(2);
             };
-            let g = model.build_graph(&dataset.city, &dataset.couriers[s.query.courier_id], &s.query);
+            let g =
+                model.build_graph(&dataset.city, &dataset.couriers[s.query.courier_id], &s.query);
             let p = if beam > 1 { model.predict_beam(&g, beam) } else { model.predict(&g) };
-            writeln!(out, "query: {} locations across {} AOIs", s.query.num_locations(), s.query.distinct_aois().len())?;
+            writeln!(
+                out,
+                "query: {} locations across {} AOIs",
+                s.query.num_locations(),
+                s.query.distinct_aois().len()
+            )?;
             writeln!(out, "predicted route: {:?}", p.route)?;
             writeln!(out, "actual route:    {:?}", s.truth.route)?;
             writeln!(
@@ -126,8 +143,9 @@ fn load_dataset(path: &str) -> std::io::Result<Dataset> {
 
 fn load_model(path: &str) -> std::io::Result<M2G4Rtp> {
     let text = fs::read_to_string(path)?;
-    let saved: SavedModel = serde_json::from_str(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}")))?;
+    let saved: SavedModel = serde_json::from_str(&text).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
+    })?;
     Ok(M2G4Rtp::from_saved(saved))
 }
 
@@ -151,12 +169,21 @@ mod tests {
         let md = dir.join("m.json");
         let (ds_s, md_s) = (ds.to_str().unwrap(), md.to_str().unwrap());
 
-        let (code, out) = run_capture(&["generate", "--scale", "tiny", "--seed", "3", "--out", ds_s]);
+        let (code, out) =
+            run_capture(&["generate", "--scale", "tiny", "--seed", "3", "--out", ds_s]);
         assert_eq!(code, 0);
         assert!(out.contains("train"), "{out}");
 
         let (code, out) = run_capture(&[
-            "train", "--dataset", ds_s, "--epochs", "1", "--out", md_s, "--seed", "5",
+            "train",
+            "--dataset",
+            ds_s,
+            "--epochs",
+            "1",
+            "--out",
+            md_s,
+            "--seed",
+            "5",
         ]);
         assert_eq!(code, 0);
         assert!(out.contains("best val KRC"), "{out}");
@@ -171,9 +198,8 @@ mod tests {
         assert_eq!(code, 0);
         assert!(out.contains("all"), "{out}");
 
-        let (code, out) = run_capture(&[
-            "predict", "--model", md_s, "--dataset", ds_s, "--sample", "99999",
-        ]);
+        let (code, out) =
+            run_capture(&["predict", "--model", md_s, "--dataset", ds_s, "--sample", "99999"]);
         assert_eq!(code, 2, "{out}");
 
         std::fs::remove_dir_all(&dir).ok();

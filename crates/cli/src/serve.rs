@@ -49,7 +49,8 @@ pub fn serve(
     let mut served = 0usize;
     for stream in listener.incoming() {
         let stream = stream?;
-        served += handle_connection(&service, &dataset, stream, max_requests.saturating_sub(served))?;
+        served +=
+            handle_connection(&service, &dataset, stream, max_requests.saturating_sub(served))?;
         if max_requests != 0 && served >= max_requests {
             break;
         }
@@ -81,10 +82,8 @@ fn handle_connection(
                     .expect("serialise error")
             }
             Ok(query) => {
-                let courier = dataset
-                    .couriers
-                    .get(query.courier_id)
-                    .unwrap_or(&dataset.couriers[0]);
+                let courier =
+                    dataset.couriers.get(query.courier_id).unwrap_or(&dataset.couriers[0]);
                 let resp = service.handle(&dataset.city, courier, &query);
                 let eta_minutes = {
                     // service returns ETAs per order index already

@@ -131,8 +131,7 @@ impl RouteDecoder {
                     }
                 }
             }
-            expansions
-                .sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite log-probabilities"));
+            expansions.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite log-probabilities"));
             expansions.truncate(beam);
             let mut next = Vec::with_capacity(expansions.len());
             for (h, j, logp) in expansions {
@@ -274,8 +273,7 @@ mod tests {
                 let vals: Vec<f32> = (0..5).map(|i| ((s * 5 + i) as f32 * 0.73).sin()).collect();
                 let mut order: Vec<usize> = (0..5).collect();
                 order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
-                let feats: Vec<f32> =
-                    vals.iter().flat_map(|&v| [v, v * v, 1.0 - v, 0.5]).collect();
+                let feats: Vec<f32> = vals.iter().flat_map(|&v| [v, v * v, 1.0 - v, 0.5]).collect();
                 (feats, order)
             })
             .collect();

@@ -344,9 +344,8 @@ impl BiLstmEncoder {
             state = self.bwd.step(t, store, xi, state);
             bwd_h[i] = Some(state.0);
         }
-        let rows: Vec<TensorId> = (0..n)
-            .map(|i| t.concat_cols(&[fwd_h[i], bwd_h[i].expect("filled")]))
-            .collect();
+        let rows: Vec<TensorId> =
+            (0..n).map(|i| t.concat_cols(&[fwd_h[i], bwd_h[i].expect("filled")])).collect();
         let seq = t.concat_rows(&rows);
         let out = self.proj.forward(t, store, seq);
         t.relu(out)

@@ -116,9 +116,7 @@ impl M2G4Rtp {
         let edge_emb_loc =
             EdgeEmbedder::new(&mut store, "loc.edge_emb", rtp_graph::EDGE_DIM, c.d_loc);
         let enc_loc = match c.variant {
-            Variant::NoGraph => {
-                Encoder::BiLstm(BiLstmEncoder::new(&mut store, "loc.enc", c.d_loc))
-            }
+            Variant::NoGraph => Encoder::BiLstm(BiLstmEncoder::new(&mut store, "loc.enc", c.d_loc)),
             _ => Encoder::Gat(GatEncoder::new(
                 &mut store,
                 "loc.enc",
@@ -161,8 +159,7 @@ impl M2G4Rtp {
             None
         };
 
-        let courier_emb =
-            Embedding::new(&mut store, "courier_emb", c.courier_vocab, c.d_courier);
+        let courier_emb = Embedding::new(&mut store, "courier_emb", c.courier_vocab, c.d_courier);
 
         let aoi_route_dec = has_aoi.then(|| {
             RouteDecoder::new(&mut store, "aoi.route_dec", c.d_aoi, c.d_u(), c.d_aoi, c.d_aoi)
@@ -335,8 +332,12 @@ impl M2G4Rtp {
         let x_in_loc = if let Some(aoi) = &self.aoi_level {
             let x_aoi = self.encode_aoi(t, store, g);
             route_aoi_loss = Some(aoi.route_dec.train_loss(t, store, x_aoi, u, &truth.aoi_route));
-            let y_pred =
-                self.time_dec_aoi.as_ref().expect("AOI time decoder").forward(t, store, x_aoi, &truth.aoi_route);
+            let y_pred = self.time_dec_aoi.as_ref().expect("AOI time decoder").forward(
+                t,
+                store,
+                x_aoi,
+                &truth.aoi_route,
+            );
             let target: Vec<f32> = truth.aoi_arrival.iter().map(|&v| v / TIME_SCALE).collect();
             let y_target = t.constant(target.len(), 1, target);
             time_aoi_loss = Some(t.mae_loss(y_pred, y_target));
@@ -360,8 +361,14 @@ impl M2G4Rtp {
         let y_loc_target = t.constant(loc_target.len(), 1, loc_target);
         let time_loc_loss = t.mae_loss(y_loc_pred, y_loc_target);
 
-        let (total, route_total, time_total) =
-            self.combine_losses(t, store, route_aoi_loss, route_loc_loss, time_aoi_loss, time_loc_loss);
+        let (total, route_total, time_total) = self.combine_losses(
+            t,
+            store,
+            route_aoi_loss,
+            route_loc_loss,
+            time_aoi_loss,
+            time_loc_loss,
+        );
 
         let scalars = SampleLosses {
             total: t.scalar(total),
@@ -478,7 +485,8 @@ impl M2G4Rtp {
         } else {
             // Derive AOI-level outputs from the location predictions so
             // the ablation still reports all four outputs.
-            let (aoi_route, aoi_times) = derive_aoi_outputs(&route, &times, &g.loc_to_aoi, g.aois.n);
+            let (aoi_route, aoi_times) =
+                derive_aoi_outputs(&route, &times, &g.loc_to_aoi, g.aois.n);
             Prediction { aoi_route, aoi_times, route, times }
         }
     }
@@ -516,7 +524,8 @@ impl M2G4Rtp {
         if self.aoi_level.is_some() {
             Prediction { aoi_route, aoi_times, route, times }
         } else {
-            let (aoi_route, aoi_times) = derive_aoi_outputs(&route, &times, &g.loc_to_aoi, g.aois.n);
+            let (aoi_route, aoi_times) =
+                derive_aoi_outputs(&route, &times, &g.loc_to_aoi, g.aois.n);
             Prediction { aoi_route, aoi_times, route, times }
         }
     }
@@ -644,8 +653,7 @@ mod tests {
         let graphs: Vec<_> = d.train[..4.min(d.train.len())]
             .iter()
             .map(|s| {
-                let mut g =
-                    builder.build(&s.query, &d.city, &d.couriers[s.query.courier_id]);
+                let mut g = builder.build(&s.query, &d.city, &d.couriers[s.query.courier_id]);
                 scaler.apply(&mut g);
                 g
             })
@@ -684,17 +692,11 @@ mod tests {
         model.store.zero_grad();
         t.backward(lt.total, &mut model.store);
         let ids: Vec<_> = model.store.iter_ids().collect();
-        let touched = ids
-            .iter()
-            .filter(|&&id| model.store.grad(id).iter().any(|&g| g != 0.0))
-            .count();
+        let touched =
+            ids.iter().filter(|&&id| model.store.grad(id).iter().any(|&g| g != 0.0)).count();
         // Nearly every parameter should receive gradient in a joint pass
         // (some embedding rows are legitimately unused per sample).
-        assert!(
-            touched * 2 > ids.len(),
-            "only {touched}/{} params received gradient",
-            ids.len()
-        );
+        assert!(touched * 2 > ids.len(), "only {touched}/{} params received gradient", ids.len());
         // Uncertainty scalars must always receive gradient.
         for &s in &model.store.iter_ids().collect::<Vec<_>>() {
             if model.store.name(s).starts_with("unc.") {

@@ -1,7 +1,10 @@
 //! Regenerates paper Table III (route prediction results): trains the
 //! full model zoo and evaluates HR@3 / KRC / LSD per size bucket.
 
-use rtp_eval::{aggregate_rows_with_std, evaluate_zoo, route_table, scale_from_args, seeds_from_args, train_zoo, ExperimentConfig};
+use rtp_eval::{
+    aggregate_rows_with_std, evaluate_zoo, route_table, scale_from_args, seeds_from_args,
+    train_zoo, ExperimentConfig,
+};
 
 fn main() {
     let seeds = seeds_from_args();

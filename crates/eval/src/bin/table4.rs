@@ -1,7 +1,10 @@
 //! Regenerates paper Table IV (time prediction results): trains the
 //! full model zoo and evaluates RMSE / MAE / acc@20 per size bucket.
 
-use rtp_eval::{aggregate_rows_with_std, evaluate_zoo, scale_from_args, seeds_from_args, time_table, train_zoo, ExperimentConfig};
+use rtp_eval::{
+    aggregate_rows_with_std, evaluate_zoo, scale_from_args, seeds_from_args, time_table, train_zoo,
+    ExperimentConfig,
+};
 
 fn main() {
     let seeds = seeds_from_args();

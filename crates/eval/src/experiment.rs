@@ -5,7 +5,9 @@ use rtp_baselines::{
     Baseline, DeepBaseline, DeepConfig, DeepKind, DistanceGreedy, OSquare, OSquareConfig,
     OrToolsLike, TimeGreedy,
 };
-use rtp_metrics::{Bucket, RouteMetricAccumulator, RouteMetrics, TimeMetricAccumulator, TimeMetrics};
+use rtp_metrics::{
+    Bucket, RouteMetricAccumulator, RouteMetrics, TimeMetricAccumulator, TimeMetrics,
+};
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig, RtpSample};
 use serde::{Deserialize, Serialize};
 
@@ -198,11 +200,7 @@ pub struct EvalOutcome {
 /// route/time metrics of Tables III/IV and the mean inference latency
 /// of Table V.
 pub fn evaluate_zoo(dataset: &Dataset, zoo: &Zoo) -> EvalOutcome {
-    let methods = zoo
-        .predictors
-        .iter()
-        .map(|p| evaluate_method(dataset, p.as_ref()))
-        .collect();
+    let methods = zoo.predictors.iter().map(|p| evaluate_method(dataset, p.as_ref())).collect();
     EvalOutcome { methods, n_test: dataset.test.len() }
 }
 
@@ -217,14 +215,8 @@ pub fn evaluate_method(dataset: &Dataset, predictor: &dyn Baseline) -> MethodEva
         time_acc.add(&p.times, &s.truth.arrival, s.query.num_locations());
     }
     let infer_ms = t0.elapsed().as_secs_f64() * 1e3 / dataset.test.len().max(1) as f64;
-    let route = Bucket::ALL
-        .iter()
-        .filter_map(|&b| route_acc.finish(b).map(|m| (b, m)))
-        .collect();
-    let time = Bucket::ALL
-        .iter()
-        .filter_map(|&b| time_acc.finish(b).map(|m| (b, m)))
-        .collect();
+    let route = Bucket::ALL.iter().filter_map(|&b| route_acc.finish(b).map(|m| (b, m))).collect();
+    let time = Bucket::ALL.iter().filter_map(|&b| time_acc.finish(b).map(|m| (b, m))).collect();
     MethodEval { name: predictor.name().to_string(), route, time, infer_ms }
 }
 

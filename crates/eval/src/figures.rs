@@ -195,11 +195,8 @@ pub fn case_study(dataset: &Dataset, zoo: &Zoo) -> CaseStudy {
     let g2r_sw = aoi_switches(case1, &p_g2r.route);
 
     // Case 2: the longest test sample (time-error accumulation).
-    let case2 = dataset
-        .test
-        .iter()
-        .max_by_key(|s| s.query.num_locations())
-        .expect("non-empty test split");
+    let case2 =
+        dataset.test.iter().max_by_key(|s| s.query.num_locations()).expect("non-empty test split");
     let p_fd = fdnet.predict(dataset, case2);
     let p_m2 = m2g.predict(dataset, case2);
     let fd = (rmse(&p_fd.times, &case2.truth.arrival), mae(&p_fd.times, &case2.truth.arrival));

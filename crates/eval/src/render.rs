@@ -77,8 +77,10 @@ pub fn render_case_svg(
     // SVG y grows downward; flip so north is up
     let py = |y: f32| (max_y - y) * s + 4.0 + legend_h;
 
-    let palette = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948",
-        "#9c755f", "#bab0ac", "#d37295"];
+    let palette = [
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+        "#bab0ac", "#d37295",
+    ];
     let mut svg = String::new();
     svg.push_str(&format!(
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \

@@ -89,10 +89,8 @@ pub fn time_table(outcome: &EvalOutcome) -> (String, Vec<TableRow>) {
 
 fn render_table(title: &str, metrics: &[&str; 3], rows: &[TableRow], n_test: usize) -> String {
     let mut out = format!("{title}  ({n_test} test samples)\n\n");
-    let buckets: Vec<String> = rows
-        .first()
-        .map(|r| r.cells.iter().map(|c| c.0.clone()).collect())
-        .unwrap_or_default();
+    let buckets: Vec<String> =
+        rows.first().map(|r| r.cells.iter().map(|c| c.0.clone()).collect()).unwrap_or_default();
     out.push_str(&format!("{:<17}", "Method"));
     for b in &buckets {
         out.push_str(&format!("| {b:<25}"));
@@ -100,10 +98,7 @@ fn render_table(title: &str, metrics: &[&str; 3], rows: &[TableRow], n_test: usi
     out.push('\n');
     out.push_str(&format!("{:<17}", ""));
     for _ in &buckets {
-        out.push_str(&format!(
-            "| {:>7} {:>7} {:>8} ",
-            metrics[0], metrics[1], metrics[2]
-        ));
+        out.push_str(&format!("| {:>7} {:>7} {:>8} ", metrics[0], metrics[1], metrics[2]));
     }
     out.push('\n');
     out.push_str(&"-".repeat(17 + buckets.len() * 27));
@@ -153,9 +148,7 @@ pub fn aggregate_rows_with_std(runs: &[Vec<TableRow>], title: &str) -> String {
             let (m1, s1) = collect(|c| c.1);
             let (m2, s2) = collect(|c| c.2);
             let (m3, s3) = collect(|c| c.3);
-            out.push_str(&format!(
-                "| {m1:6.2}±{s1:<5.2} {m2:6.2}±{s2:<5.2} {m3:6.2}±{s3:<5.2} "
-            ));
+            out.push_str(&format!("| {m1:6.2}±{s1:<5.2} {m2:6.2}±{s2:<5.2} {m3:6.2}±{s3:<5.2} "));
         }
         out.push('\n');
     }
@@ -232,7 +225,8 @@ mod tests {
             (Bucket::Short, RouteMetrics { hr3: 70.0, krc: 0.6, lsd: 3.5, count: 10 }),
             (Bucket::All, RouteMetrics { hr3: 68.0, krc: 0.58, lsd: 4.0, count: 12 }),
         ];
-        let time = vec![(Bucket::All, TimeMetrics { rmse: 40.0, mae: 26.0, acc20: 55.0, count: 80 })];
+        let time =
+            vec![(Bucket::All, TimeMetrics { rmse: 40.0, mae: 26.0, acc20: 55.0, count: 80 })];
         EvalOutcome {
             methods: vec![crate::experiment::MethodEval {
                 name: "M2G4RTP".into(),
@@ -273,10 +267,7 @@ mod tests {
     #[test]
     fn aggregate_rows_computes_mean_and_std() {
         let mk = |hr: f64| {
-            vec![TableRow {
-                method: "M2G4RTP".into(),
-                cells: vec![("all".into(), hr, 0.5, 3.0)],
-            }]
+            vec![TableRow { method: "M2G4RTP".into(), cells: vec![("all".into(), hr, 0.5, 3.0)] }]
         };
         let runs = vec![mk(70.0), mk(74.0)];
         let text = aggregate_rows_with_std(&runs, "Table III");

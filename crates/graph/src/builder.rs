@@ -135,12 +135,9 @@ impl GraphBuilder {
         let mut a_dead = Vec::with_capacity(m);
         for (k, &aid) in aoi_ids.iter().enumerate() {
             let aoi = city.aoi(aid);
-            let members: Vec<usize> =
-                (0..n).filter(|&i| loc_to_aoi[i] == k).collect();
-            let earliest = members
-                .iter()
-                .map(|&i| query.orders[i].deadline)
-                .fold(f32::MAX, f32::min);
+            let members: Vec<usize> = (0..n).filter(|&i| loc_to_aoi[i] == k).collect();
+            let earliest =
+                members.iter().map(|&i| query.orders[i].deadline).fold(f32::MAX, f32::min);
             let d = aoi.center.dist(&query.courier_pos);
             a_cont.extend_from_slice(&[
                 aoi.center.x,

@@ -22,7 +22,7 @@
 mod builder;
 mod scaler;
 
-pub use builder::{GraphBuilder, GraphConfig, GlobalFeatures, LevelGraph, MultiLevelGraph};
+pub use builder::{GlobalFeatures, GraphBuilder, GraphConfig, LevelGraph, MultiLevelGraph};
 pub use scaler::FeatureScaler;
 
 /// Continuous feature width of a location node: x, y, distance to

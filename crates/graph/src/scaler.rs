@@ -98,9 +98,7 @@ impl FeatureScaler {
         );
         // only the first two edge columns (distance, gap) are continuous
         let loc_edge = ColumnStats::fit(
-            graphs
-                .iter()
-                .flat_map(|g| g.locations.edge.chunks(edge_dim).map(|c| c[..2].to_vec())),
+            graphs.iter().flat_map(|g| g.locations.edge.chunks(edge_dim).map(|c| c[..2].to_vec())),
             2,
         );
         let aoi_edge = ColumnStats::fit(

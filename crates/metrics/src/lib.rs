@@ -235,7 +235,12 @@ impl RouteMetricAccumulator {
         if c == 0 {
             return None;
         }
-        Some(RouteMetrics { hr3: h / c as f64 * 100.0, krc: k / c as f64, lsd: l / c as f64, count: c })
+        Some(RouteMetrics {
+            hr3: h / c as f64 * 100.0,
+            krc: k / c as f64,
+            lsd: l / c as f64,
+            count: c,
+        })
     }
 }
 
@@ -360,10 +365,7 @@ mod tests {
     fn route_accumulator_buckets_and_averages() {
         let mut acc = RouteMetricAccumulator::new();
         acc.add(&[0, 1, 2, 3], &[0, 1, 2, 3]); // short, perfect
-        acc.add(
-            &[10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
-            &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
-        ); // long, reversed
+        acc.add(&[10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]); // long, reversed
         let short = acc.finish(Bucket::Short).unwrap();
         assert_eq!(short.count, 1);
         assert_eq!(short.hr3, 100.0);

@@ -120,7 +120,8 @@ impl<'a> BehaviorSim<'a> {
                 };
                 let i = locs.swap_remove(pick);
                 let order = &query.orders[i];
-                let travel = order.pos.dist(&pos) * min_per_km * noise_factor(rng, cfg.congestion_noise);
+                let travel =
+                    order.pos.dist(&pos) * min_per_km * noise_factor(rng, cfg.congestion_noise);
                 clock += travel;
                 arrival[i] = clock;
                 if aoi_arrival[a].is_nan() {
@@ -133,7 +134,8 @@ impl<'a> BehaviorSim<'a> {
                 route.push(i);
                 left -= 1;
 
-                let others_left = remaining.iter().enumerate().any(|(k, v)| k != a && !v.is_empty());
+                let others_left =
+                    remaining.iter().enumerate().any(|(k, v)| k != a && !v.is_empty());
                 if others_left && !remaining[a].is_empty() && rng.gen_bool(cfg.block_break_prob) {
                     break; // block-breaking: leave before finishing
                 }
@@ -261,12 +263,8 @@ mod tests {
         // AOI arrival equals first-location arrival in that AOI (Def. 5)
         let order_aoi = q.order_aoi_indices();
         for (j, &a) in t.aoi_route.iter().enumerate() {
-            let first = t
-                .route
-                .iter()
-                .find(|&&i| order_aoi[i] == a)
-                .copied()
-                .expect("AOI has locations");
+            let first =
+                t.route.iter().find(|&&i| order_aoi[i] == a).copied().expect("AOI has locations");
             assert_eq!(t.aoi_arrival[a], t.arrival[first], "AOI {j} arrival mismatch");
         }
     }
@@ -326,7 +324,12 @@ mod tests {
     #[test]
     fn storm_weather_slows_arrivals() {
         let (city, couriers) = setup();
-        let cfg = BehaviorConfig { decision_noise: 0.0, congestion_noise: 0.0, service_noise: 0.0, ..Default::default() };
+        let cfg = BehaviorConfig {
+            decision_noise: 0.0,
+            congestion_noise: 0.0,
+            service_noise: 0.0,
+            ..Default::default()
+        };
         let sim = BehaviorSim::new(&city, cfg);
         let c = &couriers[2];
         let mut rng = StdRng::seed_from_u64(11);

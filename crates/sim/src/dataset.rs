@@ -156,9 +156,8 @@ impl DatasetBuilder {
 
         let jobs: Vec<(usize, usize, usize)> = (0..total_days)
             .flat_map(|day| {
-                (0..cfg.n_couriers).flat_map(move |c| {
-                    (0..cfg.samples_per_courier_day).map(move |k| (day, c, k))
-                })
+                (0..cfg.n_couriers)
+                    .flat_map(move |c| (0..cfg.samples_per_courier_day).map(move |k| (day, c, k)))
             })
             .collect();
 
@@ -229,10 +228,7 @@ fn generate_sample(
     // Pick m AOIs from the territory, biased toward the courier position.
     let courier_pos = {
         let a = city.aoi(courier.territory[rng.gen_range(0..courier.territory.len())]);
-        Point {
-            x: a.center.x + rng.gen_range(-0.3..0.3),
-            y: a.center.y + rng.gen_range(-0.3..0.3),
-        }
+        Point { x: a.center.x + rng.gen_range(-0.3..0.3), y: a.center.y + rng.gen_range(-0.3..0.3) }
     };
     let mut pool = courier.territory.clone();
     let mut chosen = Vec::with_capacity(m);

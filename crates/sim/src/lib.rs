@@ -46,5 +46,6 @@ pub use behavior::{BehaviorConfig, BehaviorSim};
 pub use city::{City, CityConfig};
 pub use dataset::{Dataset, DatasetBuilder, DatasetConfig, SplitSizes};
 pub use types::{
-    Aoi, AoiType, Courier, GroundTruth, Order, Point, RtpQuery, RtpSample, Weather, MINUTES_PER_KM_BASE,
+    Aoi, AoiType, Courier, GroundTruth, Order, Point, RtpQuery, RtpSample, Weather,
+    MINUTES_PER_KM_BASE,
 };

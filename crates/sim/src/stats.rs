@@ -45,7 +45,8 @@ impl Histogram {
         if self.n == 0 {
             return 0.0;
         }
-        let cut = (((edge - self.start) / self.width).floor().max(0.0) as usize).min(self.counts.len());
+        let cut =
+            (((edge - self.start) / self.width).floor().max(0.0) as usize).min(self.counts.len());
         let below: u64 = self.counts[..cut].iter().sum();
         below as f32 / self.n as f32
     }
@@ -137,11 +138,8 @@ pub fn transfer_counts(dataset: &Dataset) -> (f32, f32) {
         let truth = sim.simulate(&query, courier, &mut rng);
         loc_transfers += query.orders.len() - 1;
         let order_aoi = query.order_aoi_indices();
-        aoi_transfers += truth
-            .route
-            .windows(2)
-            .filter(|w| order_aoi[w[0]] != order_aoi[w[1]])
-            .count();
+        aoi_transfers +=
+            truth.route.windows(2).filter(|w| order_aoi[w[0]] != order_aoi[w[1]]).count();
         days += 1;
     }
     (loc_transfers as f32 / days as f32, aoi_transfers as f32 / days as f32)

@@ -112,8 +112,7 @@ fn zero_block_break_yields_perfect_blocks() {
     };
     let t = sim.simulate(&q, c, &mut rng);
     let order_aoi = q.order_aoi_indices();
-    let switches =
-        t.route.windows(2).filter(|w| order_aoi[w[0]] != order_aoi[w[1]]).count();
+    let switches = t.route.windows(2).filter(|w| order_aoi[w[0]] != order_aoi[w[1]]).count();
     assert_eq!(switches, 2, "3 AOIs with no block-breaking ⇒ exactly 2 transfers");
 }
 

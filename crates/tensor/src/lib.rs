@@ -54,8 +54,9 @@ mod tape;
 
 pub mod nn;
 pub mod optim;
+pub mod parallel;
 
-pub use params::{ParamId, ParamStore};
+pub use params::{GradBuffer, GradSink, ParamId, ParamStore};
 pub use tape::{Tape, TensorId};
 
 /// Numerically compares two f32 slices within a tolerance; used widely by
@@ -73,7 +74,13 @@ pub fn approx_eq_slice(a: &[f32], b: &[f32], tol: f32) -> bool {
 ///
 /// Only intended for tests: it is O(param size) forward passes.
 #[allow(clippy::needless_range_loop)] // perturbs store in place; iterator borrow rules forbid it
-pub fn grad_check<F>(store: &mut ParamStore, pid: ParamId, analytic: &[f32], eps: f32, mut f: F) -> f32
+pub fn grad_check<F>(
+    store: &mut ParamStore,
+    pid: ParamId,
+    analytic: &[f32],
+    eps: f32,
+    mut f: F,
+) -> f32
 where
     F: FnMut(&ParamStore) -> f32,
 {

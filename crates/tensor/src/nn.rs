@@ -281,7 +281,8 @@ mod tests {
         let cell = LstmCell::new(&mut store, "lstm", 1, 8);
         let head = Linear::new(&mut store, "head", 8, 1);
         let mut opt = Adam::new(0.02);
-        let seqs: Vec<[f32; 3]> = vec![[1.0, 0.3, -0.2], [-1.0, 0.5, 0.1], [0.5, -0.9, 0.7], [-0.5, 0.2, 0.2]];
+        let seqs: Vec<[f32; 3]> =
+            vec![[1.0, 0.3, -0.2], [-1.0, 0.5, 0.1], [0.5, -0.9, 0.7], [-0.5, 0.2, 0.2]];
         let mut final_loss = f32::MAX;
         for _ in 0..300 {
             store.zero_grad();

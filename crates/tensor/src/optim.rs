@@ -105,7 +105,8 @@ impl Optimizer for Adam {
             let grad = store.grad(id).to_vec();
             let (m, v) = (&mut self.m[k], &mut self.v[k]);
             let data = store.data_mut(id);
-            for (((w, g), mi), vi) in data.iter_mut().zip(&grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+            for (((w, g), mi), vi) in data.iter_mut().zip(&grad).zip(m.iter_mut()).zip(v.iter_mut())
+            {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
                 let m_hat = *mi / bc1;

@@ -133,6 +133,23 @@ impl ParamStore {
         }
     }
 
+    /// Reduces a worker-local [`GradBuffer`] into this store's gradient
+    /// accumulators. Data-parallel trainers call this once per sample
+    /// buffer, in sample-index order, so the reduction is a fixed
+    /// sequence of float additions independent of worker count.
+    ///
+    /// # Panics
+    /// Panics if the buffer was not created for this store's layout.
+    pub fn accumulate(&mut self, buffer: &GradBuffer) {
+        assert_eq!(self.entries.len(), buffer.grads.len(), "gradient buffer layout mismatch");
+        for (e, bg) in self.entries.iter_mut().zip(&buffer.grads) {
+            debug_assert_eq!(e.grad.len(), bg.len());
+            for (g, d) in e.grad.iter_mut().zip(bg) {
+                *g += d;
+            }
+        }
+    }
+
     /// Clears every gradient accumulator. Call before each optimisation
     /// step's forward/backward passes.
     pub fn zero_grad(&mut self) {
@@ -172,12 +189,7 @@ impl ParamStore {
 
     /// Global L2 norm of the gradient, over all parameters.
     pub fn grad_norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .flat_map(|e| e.grad.iter())
-            .map(|g| g * g)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().flat_map(|e| e.grad.iter()).map(|g| g * g).sum::<f32>().sqrt()
     }
 
     /// Clips the global gradient norm to `max_norm` (no-op if already
@@ -213,6 +225,63 @@ impl ParamStore {
         for (e, s) in self.entries.iter_mut().zip(snapshot) {
             assert_eq!(e.data.len(), s.len(), "snapshot tensor size mismatch for `{}`", e.name);
             e.data.copy_from_slice(s);
+        }
+    }
+}
+
+/// Anything `Tape::backward_into` can accumulate parameter gradients
+/// into: the [`ParamStore`] itself (single-threaded training) or a
+/// worker-local [`GradBuffer`] (data-parallel training).
+pub trait GradSink {
+    /// Adds `delta` elementwise into the gradient slot of `id`.
+    fn accumulate_grad(&mut self, id: ParamId, delta: &[f32]);
+}
+
+impl GradSink for ParamStore {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &[f32]) {
+        ParamStore::accumulate_grad(self, id, delta);
+    }
+}
+
+/// A detached gradient accumulator with the same layout as a
+/// [`ParamStore`], but no weights, optimizer state or RNG.
+///
+/// Data-parallel minibatch training gives each sample its own buffer:
+/// workers run forward/backward concurrently into private buffers,
+/// then the trainer reduces them into the store **in sample-index
+/// order** via [`ParamStore::accumulate`]. Because each buffer starts
+/// at exactly 0.0 and `0.0 + x == x` for every finite `x`, the reduced
+/// result is bit-identical to accumulating each sample's leases
+/// directly into the store in the same sample order — so the training
+/// trajectory does not depend on how many worker threads ran.
+#[derive(Debug, Clone)]
+pub struct GradBuffer {
+    grads: Vec<Vec<f32>>,
+}
+
+impl GradBuffer {
+    /// Creates a zeroed buffer matching `store`'s parameter layout.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        GradBuffer { grads: store.entries.iter().map(|e| vec![0.0; e.grad.len()]).collect() }
+    }
+
+    /// Read-only view of the accumulated gradient for `id`.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.grads[id.index()]
+    }
+
+    /// Whether every accumulated gradient is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.grads.iter().all(|g| g.iter().all(|&v| v == 0.0))
+    }
+}
+
+impl GradSink for GradBuffer {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &[f32]) {
+        let g = &mut self.grads[id.index()];
+        debug_assert_eq!(g.len(), delta.len());
+        for (gi, di) in g.iter_mut().zip(delta) {
+            *gi += di;
         }
     }
 }
@@ -271,5 +340,50 @@ mod tests {
     fn bad_shape_panics() {
         let mut s = ParamStore::new(1);
         s.add_param("a", 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn grad_buffer_reduction_is_bit_identical_to_direct_accumulation() {
+        let mut direct = ParamStore::new(1);
+        let a = direct.add_zeros("a", 1, 3);
+        let b = direct.add_zeros("b", 1, 2);
+        let mut buffered = direct.clone();
+
+        // Two "samples"; the first leases `a` twice (like a parameter
+        // reused across decode steps). Direct path: accumulate in
+        // per-sample order straight into the store.
+        let s1_a1 = [0.125f32, 0.25, 0.5];
+        let s1_a2 = [1e-8, 0.75, -0.5];
+        let s2_a = [3.0f32, -2.0, 0.0625];
+        let s2_b = [0.1f32, -0.2];
+        direct.accumulate_grad(a, &s1_a1);
+        direct.accumulate_grad(a, &s1_a2);
+        direct.accumulate_grad(a, &s2_a);
+        direct.accumulate_grad(b, &s2_b);
+
+        // Buffered path: per-sample buffers reduced in sample order.
+        let mut buf1 = GradBuffer::zeros_like(&buffered);
+        GradSink::accumulate_grad(&mut buf1, a, &s1_a1);
+        GradSink::accumulate_grad(&mut buf1, a, &s1_a2);
+        let mut buf2 = GradBuffer::zeros_like(&buffered);
+        GradSink::accumulate_grad(&mut buf2, a, &s2_a);
+        GradSink::accumulate_grad(&mut buf2, b, &s2_b);
+        assert!(!buf1.is_zero());
+        buffered.accumulate(&buf1);
+        buffered.accumulate(&buf2);
+
+        assert_eq!(direct.grad(a), buffered.grad(a));
+        assert_eq!(direct.grad(b), buffered.grad(b));
+        assert_eq!(buf2.grad(b), &s2_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn grad_buffer_layout_mismatch_panics() {
+        let mut s = ParamStore::new(1);
+        s.add_zeros("a", 1, 3);
+        let buf = GradBuffer::zeros_like(&s);
+        s.add_zeros("b", 1, 2);
+        s.accumulate(&buf);
     }
 }

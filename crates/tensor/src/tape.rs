@@ -501,7 +501,11 @@ impl Tape {
         let da = &self.nodes[a.idx()].data;
         let mut out = vec![0.0f32; r * c];
         for i in 0..r {
-            softmax_row(&da[i * c..(i + 1) * c], &mask[i * c..(i + 1) * c], &mut out[i * c..(i + 1) * c]);
+            softmax_row(
+                &da[i * c..(i + 1) * c],
+                &mask[i * c..(i + 1) * c],
+                &mut out[i * c..(i + 1) * c],
+            );
         }
         self.push(r, c, out, Op::MaskedSoftmaxRows(a, mask.to_vec()))
     }
@@ -516,7 +520,11 @@ impl Tape {
         let da = &self.nodes[a.idx()].data;
         let mut out = vec![f32::NEG_INFINITY; r * c];
         for i in 0..r {
-            log_softmax_row(&da[i * c..(i + 1) * c], &mask[i * c..(i + 1) * c], &mut out[i * c..(i + 1) * c]);
+            log_softmax_row(
+                &da[i * c..(i + 1) * c],
+                &mask[i * c..(i + 1) * c],
+                &mut out[i * c..(i + 1) * c],
+            );
         }
         self.push(r, c, out, Op::MaskedLogSoftmaxRows(a, mask.to_vec()))
     }
@@ -573,7 +581,12 @@ impl Tape {
 
     /// Cross-entropy of a single decoding step: `-log softmax(logits)[target]`
     /// restricted to unmasked candidates. `logits` is `[1,c]`.
-    pub fn masked_cross_entropy(&mut self, logits: TensorId, mask: &[bool], target: usize) -> TensorId {
+    pub fn masked_cross_entropy(
+        &mut self,
+        logits: TensorId,
+        mask: &[bool],
+        target: usize,
+    ) -> TensorId {
         let (r, c) = self.shape(logits);
         assert_eq!(r, 1, "masked_cross_entropy expects [1,c] logits");
         assert!(target < c && mask[target], "cross-entropy target must be an unmasked candidate");
@@ -590,6 +603,15 @@ impl Tape {
     /// `[1,1]`). Parameter gradients are **accumulated** into `store`
     /// (call [`ParamStore::zero_grad`] when starting a new step).
     pub fn backward(&mut self, loss: TensorId, store: &mut ParamStore) {
+        self.backward_into(loss, store);
+    }
+
+    /// Like [`Tape::backward`], but accumulates parameter gradients
+    /// into any [`GradSink`] — a worker-local
+    /// [`crate::GradBuffer`] in data-parallel training, or the
+    /// [`ParamStore`] itself. The propagation itself is identical;
+    /// only the destination of `Op::Param` gradients differs.
+    pub fn backward_into<S: crate::GradSink>(&mut self, loss: TensorId, store: &mut S) {
         {
             let n = &mut self.nodes[loss.idx()];
             assert_eq!((n.rows, n.cols), (1, 1), "backward() expects a scalar loss");
@@ -1092,7 +1114,12 @@ mod tests {
         softmax_row(&[0.1, 0.2, 0.3, 0.4], &mask, &mut probs);
         let expect: Vec<f32> =
             probs.iter().enumerate().map(|(j, pj)| pj - if j == 2 { 1.0 } else { 0.0 }).collect();
-        assert!(approx_eq_slice(store.grad(p), &expect, 1e-5), "{:?} vs {:?}", store.grad(p), expect);
+        assert!(
+            approx_eq_slice(store.grad(p), &expect, 1e-5),
+            "{:?} vs {:?}",
+            store.grad(p),
+            expect
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! these code paths.
 
 use proptest::prelude::*;
-use rtp_tensor::{grad_check, ParamStore, Tape, TensorId};
+use rtp_tensor::nn::LstmCell;
+use rtp_tensor::{grad_check, ParamId, ParamStore, Tape, TensorId};
 
 /// Runs `build` to produce a scalar loss from one 2x3 parameter, then
 /// checks its gradient by finite differences.
@@ -192,6 +193,145 @@ proptest! {
             let a = t.mse_loss(x, target);
             let b = t.mae_loss(x, target);
             t.add(a, b)
+        })?;
+    }
+}
+
+// -------------------------------------------------------------------
+// random-shape checks with relative tolerance
+// -------------------------------------------------------------------
+
+/// Worst per-coordinate *relative* finite-difference error for `pid`:
+/// `|numeric − analytic| / max(|analytic|, |numeric|, 1)`.
+#[allow(clippy::needless_range_loop)] // perturbs store in place; iterator borrow rules forbid it
+fn worst_rel_error(
+    store: &mut ParamStore,
+    pid: ParamId,
+    analytic: &[f32],
+    mut f: impl FnMut(&ParamStore) -> f32,
+) -> f32 {
+    let eps = 1e-2f32;
+    let n = store.data(pid).len();
+    assert_eq!(analytic.len(), n);
+    let mut worst = 0.0f32;
+    for i in 0..n {
+        let orig = store.data(pid)[i];
+        store.data_mut(pid)[i] = orig + eps;
+        let up = f(store);
+        store.data_mut(pid)[i] = orig - eps;
+        let down = f(store);
+        store.data_mut(pid)[i] = orig;
+        let numeric = (up - down) / (2.0 * eps);
+        let denom = analytic[i].abs().max(numeric.abs()).max(1.0);
+        worst = worst.max((numeric - analytic[i]).abs() / denom);
+    }
+    worst
+}
+
+/// Checks every parameter in `store` against finite differences with
+/// relative tolerance 1e-3, where `build` rebuilds the loss from the
+/// store each call.
+fn check_all_params_rel(
+    store: &mut ParamStore,
+    build: impl Fn(&mut Tape, &ParamStore) -> TensorId,
+) -> Result<(), TestCaseError> {
+    let forward = |s: &ParamStore| -> f32 {
+        let mut t = Tape::new();
+        let loss = build(&mut t, s);
+        t.scalar(loss)
+    };
+    store.zero_grad();
+    let mut t = Tape::new();
+    let loss = build(&mut t, store);
+    t.backward(loss, store);
+    let ids: Vec<ParamId> = store.iter_ids().collect();
+    for pid in ids {
+        let analytic = store.grad(pid).to_vec();
+        let worst = worst_rel_error(store, pid, &analytic, forward);
+        prop_assert!(worst <= 1e-3, "relative gradient error {worst} for param {pid:?}");
+    }
+    Ok(())
+}
+
+/// A random matrix: rows, cols and entries all drawn by proptest.
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-2.0f32..2.0, r * c).prop_map(move |d| (r, c, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_masked_softmax_random_shape(
+        ((r, c, d), mask) in matrix(1..5, 2..6).prop_flat_map(|(r, c, d)| {
+            (Just((r, c, d)), prop::collection::vec(any::<bool>(), r * c))
+        })
+    ) {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("p", r, c, d);
+        check_all_params_rel(&mut store, move |t, s| {
+            let x = t.param(s, p);
+            let sm = t.masked_softmax_rows(x, &mask);
+            let sq = t.mul(sm, sm);
+            t.sum_all(sq)
+        })?;
+    }
+
+    #[test]
+    fn grad_gather_rows_random_shape(
+        ((r, c, d), idx) in matrix(1..6, 1..5).prop_flat_map(|(r, c, d)| {
+            let len = 1..(2 * r + 1);
+            (Just((r, c, d)), prop::collection::vec(0..r, len))
+        })
+    ) {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("p", r, c, d);
+        check_all_params_rel(&mut store, move |t, s| {
+            let x = t.param(s, p);
+            let g = t.gather_rows(x, &idx);
+            let a = t.tanh(g);
+            t.sum_all(a)
+        })?;
+    }
+
+    #[test]
+    fn grad_add_outer_random_shape(
+        ((r, _, a), (c, _, b)) in (matrix(1..6, 1..2), matrix(1..6, 1..2))
+    ) {
+        let mut store = ParamStore::new(0);
+        let pa = store.add_param("a", r, 1, a);
+        let pb = store.add_param("b", c, 1, b);
+        check_all_params_rel(&mut store, move |t, s| {
+            let av = t.param(s, pa);
+            let bv = t.param(s, pb);
+            let o = t.add_outer(av, bv);
+            let sq = t.tanh(o);
+            t.sum_all(sq)
+        })?;
+    }
+
+    #[test]
+    fn grad_lstm_cell_random_shape(
+        (in_dim, hidden, seed, steps) in (1usize..4, 1usize..4, 0u64..1 << 20, 1usize..4)
+            .prop_flat_map(|(i, h, seed, n)| {
+                (Just(i), Just(h), Just(seed), prop::collection::vec(-1.5f32..1.5, n * i))
+            })
+    ) {
+        let mut store = ParamStore::new(seed);
+        let cell = LstmCell::new(&mut store, "lstm", in_dim, hidden);
+        check_all_params_rel(&mut store, move |t, s| {
+            let mut state = cell.zero_state(t);
+            for step in steps.chunks(in_dim) {
+                let x = t.constant(1, in_dim, step.to_vec());
+                state = cell.step(t, s, x, state);
+            }
+            let joint = t.concat_cols(&[state.0, state.1]);
+            t.sum_all(joint)
         })?;
     }
 }

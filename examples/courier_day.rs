@@ -9,9 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtp_sim::{
-    BehaviorConfig, BehaviorSim, City, CityConfig, Order, Point, RtpQuery, Weather,
-};
+use rtp_sim::{BehaviorConfig, BehaviorSim, City, CityConfig, Order, Point, RtpQuery, Weather};
 
 fn main() {
     let city = City::generate(&CityConfig { n_aois: 80, n_districts: 6, ..CityConfig::default() });
@@ -93,10 +91,10 @@ fn main() {
     };
     let (w, h) = (64usize, 24usize);
     let mut canvas = vec![vec![' '; w]; h];
-    let (min_x, max_x, min_y, max_y) = query.orders.iter().fold(
-        (f32::MAX, f32::MIN, f32::MAX, f32::MIN),
-        |(a, b, c, d), o| (a.min(o.pos.x), b.max(o.pos.x), c.min(o.pos.y), d.max(o.pos.y)),
-    );
+    let (min_x, max_x, min_y, max_y) =
+        query.orders.iter().fold((f32::MAX, f32::MIN, f32::MAX, f32::MIN), |(a, b, c, d), o| {
+            (a.min(o.pos.x), b.max(o.pos.x), c.min(o.pos.y), d.max(o.pos.y))
+        });
     for (i, o) in query.orders.iter().enumerate() {
         let cx = (((o.pos.x - min_x) / (max_x - min_x).max(1e-6)) * (w - 1) as f32) as usize;
         let cy = (((o.pos.y - min_y) / (max_y - min_y).max(1e-6)) * (h - 1) as f32) as usize;

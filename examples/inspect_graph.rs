@@ -22,23 +22,22 @@ fn main() {
     let scaler = FeatureScaler::fit(&dataset, &builder);
     let mut g = builder.build(&sample.query, &dataset.city, courier);
 
-    println!(
-        "multi-level graph: {} location nodes, {} AOI nodes",
-        g.locations.n, g.aois.n
-    );
+    println!("multi-level graph: {} location nodes, {} AOI nodes", g.locations.n, g.aois.n);
     println!("location -> AOI membership (E^la): {:?}", g.loc_to_aoi);
 
     println!("\nraw location node features (Eq. 12): [x, y, dist, deadline-t, t-accept]");
     for i in 0..g.locations.n.min(4) {
         let row = &g.locations.cont[i * g.locations.cont_dim..(i + 1) * g.locations.cont_dim];
-        println!("  l{i}: {row:?}  (AOI id {}, type {})", g.locations.aoi_ids[i], g.locations.aoi_types[i]);
+        println!(
+            "  l{i}: {row:?}  (AOI id {}, type {})",
+            g.locations.aoi_ids[i], g.locations.aoi_types[i]
+        );
     }
 
     println!("\nconnectivity (Eq. 15; row i = neighbours location i attends to):");
     for i in 0..g.locations.n.min(6) {
-        let nbrs: Vec<usize> = (0..g.locations.n)
-            .filter(|&j| g.locations.adj[i * g.locations.n + j])
-            .collect();
+        let nbrs: Vec<usize> =
+            (0..g.locations.n).filter(|&j| g.locations.adj[i * g.locations.n + j]).collect();
         println!("  l{i}: degree {} -> {nbrs:?}", g.locations.degree(i));
     }
 

@@ -74,5 +74,9 @@ fn main() {
     let n = stream.len() as f64;
     println!("\naggregate service quality over {} requests:", stream.len());
     println!("  Intelligent Order Sorting: HR@3 {:.2}%  KRC {:.3}", hr3 / n * 100.0, kc / n);
-    println!("  Minute-Level ETA:          RMSE {:.2}  MAE {:.2} (minutes)", rmse(&preds, &labels), mae(&preds, &labels));
+    println!(
+        "  Minute-Level ETA:          RMSE {:.2}  MAE {:.2} (minutes)",
+        rmse(&preds, &labels),
+        mae(&preds, &labels)
+    );
 }

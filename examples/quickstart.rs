@@ -35,7 +35,8 @@ fn main() {
     // 3. Joint inference on one unseen query.
     let sample = &dataset.test[0];
     let prediction = model.predict_sample(&dataset, sample);
-    println!("\nquery: courier {} with {} unvisited locations across {} AOIs",
+    println!(
+        "\nquery: courier {} with {} unvisited locations across {} AOIs",
         sample.query.courier_id,
         sample.query.num_locations(),
         sample.query.distinct_aois().len()

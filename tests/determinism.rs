@@ -53,6 +53,34 @@ fn training_and_inference_are_deterministic_in_seeds() {
     assert_eq!(t1, t2, "times must be identical across identical runs");
 }
 
+/// The tentpole guarantee of the data-parallel trainer: per-sample
+/// gradient shards are reduced in sample-index order, so the thread
+/// count must not change a single bit of the result — same final
+/// losses, same serialized weights.
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(59)).build();
+        let mut cfg = ModelConfig::for_dataset(&d);
+        cfg.d_loc = 16;
+        cfg.d_aoi = 16;
+        cfg.n_heads = 2;
+        cfg.n_layers = 1;
+        let mut model = M2G4Rtp::new(cfg, 11);
+        let train_cfg = TrainConfig { epochs: 2, threads, ..TrainConfig::quick() };
+        let report = Trainer::new(train_cfg).fit(&mut model, &d);
+        let losses: Vec<u32> = report.history.iter().map(|e| e.train_loss.to_bits()).collect();
+        let saved = serde_json::to_string(&model.to_saved()).expect("serialize model");
+        (losses, saved)
+    };
+    let (loss1, saved1) = run(1);
+    for threads in [2, 4] {
+        let (loss_n, saved_n) = run(threads);
+        assert_eq!(loss1, loss_n, "per-epoch losses must be bit-identical at {threads} threads");
+        assert_eq!(saved1, saved_n, "saved model must be byte-identical at {threads} threads");
+    }
+}
+
 #[test]
 fn scaler_is_deterministic() {
     let d = DatasetBuilder::new(DatasetConfig::tiny(58)).build();

@@ -1,0 +1,231 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! and the `criterion_group!`/`criterion_main!` macros with timing
+//! that is deliberately lightweight: each benchmark is warmed up
+//! briefly, then timed in batches until the configured measurement
+//! time elapses, and the mean ns/iteration is printed. There is no
+//! statistical analysis, HTML report, or comparison to saved
+//! baselines — results go to stdout for eyeballing and for the
+//! workspace's own JSON emitters.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"<name>/<parameter>"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until
+    /// the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget elapses at least once.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let min_iters = warm_iters.max(1);
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement && iters >= min_iters.min(10) {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(label: &str, warm_up: Duration, measurement: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { warm_up, measurement, mean_ns: f64::NAN };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("bench {label}: no measurement (Bencher::iter never called)");
+    } else if b.mean_ns >= 1.0e6 {
+        println!("bench {label}: {:.3} ms/iter", b.mean_ns / 1.0e6);
+    } else if b.mean_ns >= 1.0e3 {
+        println!("bench {label}: {:.3} µs/iter", b.mean_ns / 1.0e3);
+    } else {
+        println!("bench {label}: {:.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by
+    /// measurement time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.warm_up, self.measurement, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(800) }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up budget (builder form).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget (builder form).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness is time-budgeted,
+    /// so the sample count is ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Starts a configuration group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, self.warm_up, self.measurement, f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

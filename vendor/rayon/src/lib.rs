@@ -1,0 +1,175 @@
+//! Offline vendored subset of the `rayon` API: `par_iter()` over
+//! slices and `Vec`s with `map`/`filter_map` + `collect`.
+//!
+//! Work is executed on scoped OS threads over contiguous chunks and
+//! the per-chunk outputs are concatenated in chunk order, so `collect`
+//! preserves input order exactly like rayon's indexed parallel
+//! iterators — parallelism never changes results.
+
+/// Number of worker threads used for parallel iteration.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped
+/// threads, returning per-item outputs in input order. `f` may return
+/// values borrowing from the source slice (lifetime `'data`).
+fn chunked_map<'data, T: Sync, R: Send>(
+    items: &'data [T],
+    f: impl Fn(&'data T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunk_outputs: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let f = &f;
+                scope.spawn(move || items[lo..hi].iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        chunk_outputs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    chunk_outputs.into_iter().flatten().collect()
+}
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// A mapped parallel iteration, ready to `collect`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// A filter-mapped parallel iteration, ready to `collect`.
+pub struct ParFilterMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Maps each item in parallel, keeping only `Some` outputs.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> Option<R> + Sync,
+        R: Send,
+    {
+        ParFilterMap { items: self.items, f }
+    }
+}
+
+/// Conversion from a parallel-map pipeline's output vector, allowing
+/// `collect::<Vec<_>>()` call sites to compile unchanged.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from already-ordered items.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map and collects outputs in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(chunked_map(self.items, self.f))
+    }
+}
+
+impl<'data, T, R, F> ParFilterMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> Option<R> + Sync,
+{
+    /// Runs the filter-map and collects the surviving outputs in input
+    /// order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let mapped = chunked_map(self.items, self.f);
+        C::from_ordered_vec(mapped.into_iter().flatten().collect())
+    }
+}
+
+/// Entry points mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+/// `par_iter()` provider for `&self` collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// Starts a parallel iteration over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = input.par_iter().filter_map(|&x| (x % 3 == 0).then_some(x)).collect();
+        assert_eq!(out, input.iter().copied().filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros for the
+//! local `serde` subset.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream
+//! (no `syn`/`quote` — they are unavailable offline). Supported shapes,
+//! which cover every derive site in this workspace:
+//!
+//! - structs with named fields,
+//! - enums whose variants are unit (`Full`) or struct-like
+//!   (`Split { feature: usize, .. }`), serialized externally tagged
+//!   exactly like upstream serde: `"Full"` / `{"Split": {...}}`.
+//!
+//! Generics, tuple structs, tuple variants and `#[serde(...)]`
+//! attributes are rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    /// A named-field struct and its field names.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum and its variants.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant: unit (`fields == None`) or struct-like.
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips one attribute (`#[...]`) if the cursor is on one.
+fn skip_attr(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        let is_group =
+            matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+        if is_pound && is_group {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Extracts the field names from the token stream of a `{ ... }` body
+/// with named fields. Commas nested inside angle brackets or groups do
+/// not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attr(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts the variants from the token stream of an enum `{ ... }`
+/// body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attr(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let mut fields = None;
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream())?);
+                    i += 1;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!("tuple variant `{name}` is not supported"));
+                }
+                TokenTree::Punct(p) if p.as_char() == '=' => {
+                    return Err(format!("explicit discriminant on `{name}` is not supported"));
+                }
+                _ => {}
+            }
+        }
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => return Err(format!("expected `,` after variant, found `{other}`")),
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input item into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attr(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind}`"));
+    }
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic item `{name}` is not supported"));
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("`{name}` must have a braced body with named fields")),
+    };
+    if kind == "struct" {
+        Ok(Item::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Item::Enum { name, variants: parse_variants(body)? })
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(v, {f:?})?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => return ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (&v.name, f)))
+                .map(|(vname, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(inner, {f:?})?"))
+                        .collect();
+                    format!(
+                        "{vname:?} => return ::std::result::Result::Ok(\
+                         {name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            let str_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                         match s {{\n{}\n_ => {{}}\n}}\n\
+                     }}",
+                    unit_arms.join("\n")
+                )
+            };
+            let obj_block = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                         if obj.len() == 1 {{\n\
+                             let (tag, inner) = &obj[0];\n\
+                             match tag.as_str() {{\n{}\n_ => {{}}\n}}\n\
+                         }}\n\
+                     }}",
+                    tagged_arms.join("\n")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {str_block}\n\
+                         {obj_block}\n\
+                         ::std::result::Result::Err(::serde::Error::msg(\
+                             concat!(\"unknown variant for enum \", {name:?})))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the local `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&format!("#[derive(Serialize)]: {msg}")),
+    }
+}
+
+/// Derives the local `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&format!("#[derive(Deserialize)]: {msg}")),
+    }
+}
