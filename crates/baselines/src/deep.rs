@@ -23,7 +23,7 @@ use rtp_graph::{FeatureScaler, GraphBuilder, GraphConfig, MultiLevelGraph};
 use rtp_sim::{Dataset, RtpSample};
 use rtp_tensor::nn::{positional_encoding, Embedding, Linear, LstmCell, Mlp};
 use rtp_tensor::optim::{Adam, Optimizer};
-use rtp_tensor::parallel::parallel_map_ordered;
+use rtp_tensor::parallel::{parallel_map_ordered_with, resolve_threads};
 use rtp_tensor::{GradBuffer, ParamStore, Tape, TensorId};
 use serde::{Deserialize, Serialize};
 
@@ -435,6 +435,13 @@ impl DeepBaseline {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut indices: Vec<usize> = (0..train_graphs.len()).collect();
 
+        // One tape per worker, reused (via `Tape::clear`) across every
+        // sample, batch and epoch of both training phases — the hot loop
+        // allocates from the tape's buffer pool instead of the heap.
+        let workers =
+            resolve_threads(self.config.threads).min(self.config.batch_size.max(1)).max(1);
+        let mut worker_tapes: Vec<Tape> = (0..workers).map(|_| Tape::new()).collect();
+
         // ---------- phase 1: route ----------
         let mut opt = Adam::new(self.config.lr);
         let mut best = f64::NEG_INFINITY;
@@ -446,13 +453,13 @@ impl DeepBaseline {
                 self.store.zero_grad();
                 let frozen = self.store.clone();
                 let this = &*self;
-                let shards = parallel_map_ordered(batch.len(), this.config.threads, |k| {
+                let shards = parallel_map_ordered_with(&mut worker_tapes, batch.len(), |t, k| {
                     let i = batch[k];
-                    let mut t = Tape::new();
-                    let reps = this.encode(&mut t, &frozen, &train_graphs[i]);
-                    let u = this.courier_repr(&mut t, &frozen, &train_graphs[i]);
+                    t.clear();
+                    let reps = this.encode(t, &frozen, &train_graphs[i]);
+                    let u = this.courier_repr(t, &frozen, &train_graphs[i]);
                     let loss = this.route_dec.train_loss(
-                        &mut t,
+                        t,
                         &frozen,
                         reps,
                         u,
@@ -497,14 +504,14 @@ impl DeepBaseline {
                 self.store.zero_grad();
                 let frozen = self.store.clone();
                 let this = &*self;
-                let shards = parallel_map_ordered(batch.len(), this.config.threads, |k| {
+                let shards = parallel_map_ordered_with(&mut worker_tapes, batch.len(), |t, k| {
                     let i = batch[k];
                     let g = &train_graphs[i];
-                    let mut t = Tape::new();
-                    let reps = this.encode(&mut t, &frozen, g);
-                    let u = this.courier_repr(&mut t, &frozen, g);
-                    let route = this.route_dec.decode(&mut t, &frozen, reps, u);
-                    let pred = this.time_forward(&mut t, &frozen, g, reps, &route);
+                    t.clear();
+                    let reps = this.encode(t, &frozen, g);
+                    let u = this.courier_repr(t, &frozen, g);
+                    let route = this.route_dec.decode(t, &frozen, reps, u);
+                    let pred = this.time_forward(t, &frozen, g, reps, &route);
                     let target: Vec<f32> =
                         dataset.train[i].truth.arrival.iter().map(|&v| v / TIME_SCALE).collect();
                     let y = t.constant(target.len(), 1, target);
@@ -550,18 +557,18 @@ impl DeepBaseline {
         if graphs.is_empty() {
             return 0.0;
         }
-        graphs
-            .iter()
-            .zip(samples)
-            .map(|(g, s)| {
-                let mut t = Tape::new();
-                let reps = self.encode(&mut t, &self.store, g);
-                let u = self.courier_repr(&mut t, &self.store, g);
-                let route = self.route_dec.decode(&mut t, &self.store, reps, u);
-                rtp_metrics::krc(&route, &s.truth.route)
-            })
-            .sum::<f64>()
-            / graphs.len() as f64
+        // Validation never needs gradients: one pooled no-grad tape
+        // serves every sample.
+        let mut t = Tape::inference();
+        let mut sum = 0.0f64;
+        for (g, s) in graphs.iter().zip(samples) {
+            t.clear();
+            let reps = self.encode(&mut t, &self.store, g);
+            let u = self.courier_repr(&mut t, &self.store, g);
+            let route = self.route_dec.decode(&mut t, &self.store, reps, u);
+            sum += rtp_metrics::krc(&route, &s.truth.route);
+        }
+        sum / graphs.len() as f64
     }
 
     fn mean_val_mae(&self, graphs: &[MultiLevelGraph], samples: &[RtpSample]) -> f64 {
@@ -577,9 +584,10 @@ impl DeepBaseline {
         sum / n.max(1) as f64
     }
 
-    /// Inference on a pre-built (scaled) graph.
+    /// Inference on a pre-built (scaled) graph. Runs on a no-grad tape:
+    /// no gradient buffers, no op payloads.
     pub fn predict_graph(&self, g: &MultiLevelGraph) -> Prediction {
-        let mut t = Tape::new();
+        let mut t = Tape::inference();
         let reps = self.encode(&mut t, &self.store, g);
         let u = self.courier_repr(&mut t, &self.store, g);
         let route = self.route_dec.decode(&mut t, &self.store, reps, u);

@@ -16,7 +16,7 @@ use rtp_graph::{FeatureScaler, GraphBuilder, GraphConfig, MultiLevelGraph};
 use rtp_sim::{Dataset, RtpSample};
 use rtp_tensor::nn::{Linear, Mlp};
 use rtp_tensor::optim::{Adam, Optimizer};
-use rtp_tensor::parallel::parallel_map_ordered;
+use rtp_tensor::parallel::{parallel_map_ordered_with, resolve_threads};
 use rtp_tensor::{GradBuffer, ParamStore, Tape, TensorId};
 use serde::{Deserialize, Serialize};
 
@@ -144,16 +144,22 @@ impl DeepEta {
         let mut best = f64::MAX;
         let mut best_snap = self.store.snapshot();
         let mut since = 0usize;
+        // Per-worker tapes reused across all samples and epochs, plus one
+        // no-grad tape for the validation sweep.
+        let workers =
+            resolve_threads(self.config.threads).min(self.config.batch_size.max(1)).max(1);
+        let mut worker_tapes: Vec<Tape> = (0..workers).map(|_| Tape::new()).collect();
+        let mut val_tape = Tape::inference();
         for _ in 0..self.config.epochs {
             indices.shuffle(&mut rng);
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
                 let frozen = self.store.clone();
                 let this = &*self;
-                let shards = parallel_map_ordered(batch.len(), this.config.threads, |k| {
+                let shards = parallel_map_ordered_with(&mut worker_tapes, batch.len(), |t, k| {
                     let i = batch[k];
-                    let mut t = Tape::new();
-                    let pred = this.forward(&mut t, &frozen, &train_graphs[i]);
+                    t.clear();
+                    let pred = this.forward(t, &frozen, &train_graphs[i]);
                     let target: Vec<f32> =
                         dataset.train[i].truth.arrival.iter().map(|&v| v / TIME_SCALE).collect();
                     let y = t.constant(target.len(), 1, target);
@@ -173,9 +179,9 @@ impl DeepEta {
             let mut sum = 0.0f64;
             let mut nl = 0usize;
             for (g, s) in val_graphs.iter().zip(&dataset.val) {
-                let mut t = Tape::new();
-                let pred = self.forward(&mut t, &self.store, g);
-                for (p, y) in t.data(pred).iter().zip(&s.truth.arrival) {
+                val_tape.clear();
+                let pred = self.forward(&mut val_tape, &self.store, g);
+                for (p, y) in val_tape.data(pred).iter().zip(&s.truth.arrival) {
                     sum += ((p * TIME_SCALE) - y).abs() as f64;
                 }
                 nl += s.truth.arrival.len();
@@ -206,7 +212,7 @@ impl DeepEta {
         let mut g =
             builder.build(&sample.query, &dataset.city, &dataset.couriers[sample.query.courier_id]);
         scaler.apply(&mut g);
-        let mut t = Tape::new();
+        let mut t = Tape::inference();
         let pred = self.forward(&mut t, &self.store, &g);
         t.data(pred).iter().map(|&v| (v * TIME_SCALE).max(0.0)).collect()
     }

@@ -1,0 +1,196 @@
+//! Matmul-kernel and tape-reuse micro-benchmarks for the tensor
+//! engine's hot loop.
+//!
+//! Two measurements, written to `results/tensor_kernels.json`:
+//!
+//! 1. **Kernel sweep** — square-matmul GFLOP-rate of the blocked,
+//!    B-packed forward kernel vs the naive reference, plus both
+//!    backward accumulation kernels, at n ∈ {16, 32, 64, 128, 256}.
+//! 2. **Tape reuse** — forward+backward throughput of a small MLP-like
+//!    program on a fresh `Tape::new()` per iteration vs one pooled
+//!    tape reset with `Tape::clear()`, and the pool hit rate showing
+//!    how many heap allocations the pool absorbs.
+
+use rtp_tensor::{kernels, GradBuffer, ParamStore, Tape};
+use std::time::Instant;
+
+/// Deterministic pseudo-random fill (no rand dependency needed here).
+fn fill(v: &mut [f32], mut seed: u32) {
+    for x in v.iter_mut() {
+        seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+        *x = ((seed >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0;
+    }
+}
+
+/// Times `f` over enough repetitions to exceed ~80ms, best of three
+/// rounds (shields against scheduler noise on the shared core),
+/// returns seconds per call.
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    // warm-up
+    f();
+    let mut reps = 1usize;
+    let dt = loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.08 {
+            break dt;
+        }
+        reps *= 2;
+    };
+    let mut best = dt;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best / reps as f64
+}
+
+struct KernelRow {
+    n: usize,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    grad_a_gflops: f64,
+    grad_b_gflops: f64,
+    speedup: f64,
+}
+
+fn kernel_sweep() -> Vec<KernelRow> {
+    [16usize, 32, 64, 128, 256]
+        .iter()
+        .map(|&n| {
+            let mut a = vec![0.0f32; n * n];
+            let mut b = vec![0.0f32; n * n];
+            let mut out = vec![0.0f32; n * n];
+            let mut acc = vec![0.0f32; n * n];
+            fill(&mut a, 1 + n as u32);
+            fill(&mut b, 2 + n as u32);
+            let flops = 2.0 * (n as f64).powi(3);
+
+            let naive = time_per_call(|| kernels::matmul_naive(&a, &b, &mut out, n, n, n));
+            let blocked = time_per_call(|| kernels::matmul(&a, &b, &mut out, n, n, n));
+            let grad_a = time_per_call(|| {
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                kernels::matmul_grad_a(&a, &b, &mut acc, n, n, n);
+            });
+            let grad_b = time_per_call(|| {
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                kernels::matmul_grad_b(&a, &b, &mut acc, n, n, n);
+            });
+            let row = KernelRow {
+                n,
+                naive_gflops: flops / naive / 1e9,
+                blocked_gflops: flops / blocked / 1e9,
+                grad_a_gflops: flops / grad_a / 1e9,
+                grad_b_gflops: flops / grad_b / 1e9,
+                speedup: naive / blocked,
+            };
+            println!(
+                "n={:>3}: naive {:>6.2} GF/s  blocked {:>6.2} GF/s  ({:.2}x)  gA {:>6.2}  gB {:>6.2}",
+                row.n, row.naive_gflops, row.blocked_gflops, row.speedup, row.grad_a_gflops, row.grad_b_gflops
+            );
+            row
+        })
+        .collect()
+}
+
+/// One forward+backward pass of a tanh MLP; sized small enough that
+/// buffer allocation is a visible share of the pass (the regime the
+/// per-sample training loop actually runs in: graphs are ~10-40 nodes).
+const MLP_DIM: usize = 24;
+const MLP_LAYERS: usize = 6;
+
+fn mlp_pass(t: &mut Tape, store: &ParamStore, ids: &[rtp_tensor::ParamId], buf: &mut GradBuffer) {
+    let mut x = t.constant(MLP_DIM, MLP_DIM, vec![0.5; MLP_DIM * MLP_DIM]);
+    for &w in ids {
+        let wv = t.param(store, w);
+        let h = t.matmul(x, wv);
+        x = t.tanh(h);
+    }
+    let loss = t.mean_all(x);
+    t.backward_into(loss, buf);
+}
+
+struct ReuseResult {
+    fresh_passes_per_sec: f64,
+    reused_passes_per_sec: f64,
+    speedup: f64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+fn tape_reuse() -> ReuseResult {
+    let mut store = ParamStore::new(11);
+    let ids: Vec<_> = (0..MLP_LAYERS as u32)
+        .map(|l| {
+            let mut w = vec![0.0f32; MLP_DIM * MLP_DIM];
+            fill(&mut w, 77 + l);
+            store.add_param(&format!("w{l}"), MLP_DIM, MLP_DIM, w)
+        })
+        .collect();
+    let mut buf = GradBuffer::zeros_like(&store);
+
+    let fresh_spc = time_per_call(|| {
+        let mut t = Tape::new();
+        mlp_pass(&mut t, &store, &ids, &mut buf);
+    });
+
+    let mut pooled = Tape::new();
+    // Warm the pool once, then reset stats-relevant measurement phase:
+    mlp_pass(&mut pooled, &store, &ids, &mut buf);
+    let reused_spc = time_per_call(|| {
+        pooled.clear();
+        mlp_pass(&mut pooled, &store, &ids, &mut buf);
+    });
+    let (pool_hits, pool_misses) = pooled.pool_stats();
+
+    let r = ReuseResult {
+        fresh_passes_per_sec: 1.0 / fresh_spc,
+        reused_passes_per_sec: 1.0 / reused_spc,
+        speedup: fresh_spc / reused_spc,
+        pool_hits,
+        pool_misses,
+    };
+    println!(
+        "tape fresh {:>8.1} passes/s   pooled {:>8.1} passes/s   ({:.2}x)   pool {}h/{}m",
+        r.fresh_passes_per_sec, r.reused_passes_per_sec, r.speedup, r.pool_hits, r.pool_misses
+    );
+    r
+}
+
+fn main() {
+    println!("== matmul kernel sweep ==");
+    let rows = kernel_sweep();
+    println!("== tape reuse ==");
+    let reuse = tape_reuse();
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}, \"grad_a_gflops\": {:.3}, \"grad_b_gflops\": {:.3}}}",
+                r.n, r.naive_gflops, r.blocked_gflops, r.speedup, r.grad_a_gflops, r.grad_b_gflops
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"tensor_kernels\",\n  \"matmul_sweep\": [\n{}\n  ],\n  \"tape_reuse\": {{\n    \"fresh_passes_per_sec\": {:.1},\n    \"reused_passes_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \"pool_hits\": {},\n    \"pool_misses\": {},\n    \"pool_hit_rate\": {:.4}\n  }}\n}}\n",
+        entries.join(",\n"),
+        reuse.fresh_passes_per_sec,
+        reuse.reused_passes_per_sec,
+        reuse.speedup,
+        reuse.pool_hits,
+        reuse.pool_misses,
+        reuse.pool_hits as f64 / (reuse.pool_hits + reuse.pool_misses).max(1) as f64,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let path = out.join("tensor_kernels.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {}", path.display());
+}

@@ -2,6 +2,11 @@
 //! §VI online deployment (Fig. 7). Speaks newline-delimited JSON:
 //! every request line is an [`rtp_sim::RtpQuery`], every response line
 //! a [`ServeResponse`].
+//!
+//! Inference runs through [`RtpService`]'s pooled no-grad tape: the
+//! forward pass records no gradients or op payloads, and after the
+//! first request every tensor buffer comes from the tape's free-list
+//! pool, so steady-state serving is allocation-free in the hot loop.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};

@@ -450,8 +450,20 @@ impl M2G4Rtp {
     // -----------------------------------------------------------------
 
     /// Greedy joint inference on a pre-built (scaled) graph.
+    ///
+    /// Runs on a fresh no-grad tape; latency-sensitive callers should
+    /// hold a [`Tape::inference`] tape and use
+    /// [`M2G4Rtp::predict_into`] to reuse its buffers across queries.
     pub fn predict(&self, g: &MultiLevelGraph) -> Prediction {
-        let t = &mut Tape::new();
+        self.predict_into(&mut Tape::inference(), g)
+    }
+
+    /// Like [`M2G4Rtp::predict`], but reuses `t` (cleared first), so
+    /// repeated queries are served without tape allocations. `t` is
+    /// typically a [`Tape::inference`] tape; a grad tape works too but
+    /// pays for gradient buffers nobody reads.
+    pub fn predict_into(&self, t: &mut Tape, g: &MultiLevelGraph) -> Prediction {
+        t.clear();
         let store = &self.store;
         let u = self.courier_repr(t, store, g);
         let x_loc = self.encode_loc(t, store, g);
@@ -495,7 +507,7 @@ impl M2G4Rtp {
     /// the paper's greedy decoder): both levels decode with the given
     /// beam width; `beam == 1` is identical to [`M2G4Rtp::predict`].
     pub fn predict_beam(&self, g: &MultiLevelGraph, beam: usize) -> Prediction {
-        let t = &mut Tape::new();
+        let t = &mut Tape::inference();
         let store = &self.store;
         let u = self.courier_repr(t, store, g);
         let x_loc = self.encode_loc(t, store, g);
@@ -542,7 +554,7 @@ impl M2G4Rtp {
         g: &MultiLevelGraph,
         truth: &rtp_sim::GroundTruth,
     ) -> Prediction {
-        let t = &mut Tape::new();
+        let t = &mut Tape::inference();
         let store = &self.store;
         let u = self.courier_repr(t, store, g);
         let x_loc = self.encode_loc(t, store, g);

@@ -17,7 +17,7 @@ use rayon::prelude::*;
 use rtp_graph::{FeatureScaler, GraphBuilder, GraphConfig, MultiLevelGraph};
 use rtp_sim::Dataset;
 use rtp_tensor::optim::{Adam, Optimizer};
-use rtp_tensor::parallel::parallel_map_ordered;
+use rtp_tensor::parallel::{parallel_map_ordered_with, resolve_threads};
 use rtp_tensor::{GradBuffer, Tape};
 use serde::{Deserialize, Serialize};
 
@@ -180,6 +180,11 @@ impl Trainer {
 
         let mut indices: Vec<usize> = (0..train_graphs.len()).collect();
         let mut train_loop_seconds = 0.0f64;
+        // One tape per worker, reused (via `clear()`) across every
+        // sample of every epoch — steady-state training allocates no
+        // tape buffers.
+        let workers = resolve_threads(self.config.threads).min(self.config.batch_size.max(1));
+        let mut worker_tapes: Vec<Tape> = (0..workers.max(1)).map(|_| Tape::new()).collect();
         for epoch in 0..self.config.epochs {
             indices.shuffle(&mut rng);
             let phase_b = two_step && epoch >= phase_a_epochs;
@@ -193,28 +198,29 @@ impl Trainer {
                 // on a worker thread against the frozen weights, into a
                 // private gradient buffer.
                 let model_ref: &M2G4Rtp = model;
-                let shards = parallel_map_ordered(batch.len(), self.config.threads, |k| {
-                    let i = batch[k];
-                    let mut tape = Tape::new();
-                    let lt = model_ref.forward_train(
-                        &mut tape,
-                        &frozen_store,
-                        &train_graphs[i],
-                        &dataset.train[i].truth,
-                    );
-                    let objective = if warming_up {
-                        lt.route_total
-                    } else if !two_step {
-                        lt.total
-                    } else if phase_b {
-                        lt.time_total
-                    } else {
-                        lt.route_total
-                    };
-                    let mut buffer = GradBuffer::zeros_like(&frozen_store);
-                    tape.backward_into(objective, &mut buffer);
-                    (buffer, lt.scalars.total)
-                });
+                let shards =
+                    parallel_map_ordered_with(&mut worker_tapes, batch.len(), |tape, k| {
+                        let i = batch[k];
+                        tape.clear();
+                        let lt = model_ref.forward_train(
+                            tape,
+                            &frozen_store,
+                            &train_graphs[i],
+                            &dataset.train[i].truth,
+                        );
+                        let objective = if warming_up {
+                            lt.route_total
+                        } else if !two_step {
+                            lt.total
+                        } else if phase_b {
+                            lt.time_total
+                        } else {
+                            lt.route_total
+                        };
+                        let mut buffer = GradBuffer::zeros_like(&frozen_store);
+                        tape.backward_into(objective, &mut buffer);
+                        (buffer, lt.scalars.total)
+                    });
                 // Fixed, index-ordered reduction: identical float
                 // operation sequence no matter how many workers ran.
                 for (buffer, sample_loss) in &shards {
@@ -306,8 +312,9 @@ fn validate(
     let mut krc_sum = 0.0;
     let mut mae_sum = 0.0;
     let mut n_locs = 0usize;
+    let mut tape = Tape::inference();
     for (g, s) in graphs.iter().zip(samples) {
-        let p = model.predict(g);
+        let p = model.predict_into(&mut tape, g);
         krc_sum += rtp_metrics::krc(&p.route, &s.truth.route);
         for (pt, yt) in p.times.iter().zip(&s.truth.arrival) {
             mae_sum += (*pt - *yt).abs() as f64;

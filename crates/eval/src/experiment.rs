@@ -9,7 +9,9 @@ use rtp_metrics::{
     Bucket, RouteMetricAccumulator, RouteMetrics, TimeMetricAccumulator, TimeMetrics,
 };
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig, RtpSample};
+use rtp_tensor::Tape;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Display name of the trained M²G4RTP predictor in the zoo.
 pub const M2GPREDICTOR_NAME: &str = "M2G4RTP";
@@ -89,12 +91,14 @@ pub struct M2gPredictor {
     /// The trained model.
     pub model: M2G4Rtp,
     name: &'static str,
+    /// Pooled no-grad tape reused across every test query.
+    tape: Mutex<Tape>,
 }
 
 impl M2gPredictor {
     /// Wraps a trained model under a display name.
     pub fn new(model: M2G4Rtp, name: &'static str) -> Self {
-        Self { model, name }
+        Self { model, name, tape: Mutex::new(Tape::inference()) }
     }
 }
 
@@ -104,7 +108,10 @@ impl Baseline for M2gPredictor {
     }
 
     fn predict(&self, dataset: &Dataset, sample: &RtpSample) -> Prediction {
-        self.model.predict_sample(dataset, sample)
+        let courier = &dataset.couriers[sample.query.courier_id];
+        let g = self.model.build_graph(&dataset.city, courier, &sample.query);
+        let mut tape = self.tape.lock().expect("inference tape poisoned");
+        self.model.predict_into(&mut tape, &g)
     }
 }
 

@@ -7,7 +7,9 @@
 
 use m2g4rtp::M2G4Rtp;
 use rtp_sim::{City, Courier, RtpQuery};
+use rtp_tensor::Tape;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// An ETA push message of the Minute-Level ETA service (Fig. 8b).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,6 +42,10 @@ pub struct ServiceResponse {
 /// The in-process RTP inference service.
 pub struct RtpService {
     model: M2G4Rtp,
+    /// No-grad tape reused (cleared, not reallocated) across requests:
+    /// after the first request the Inference Layer runs allocation-free
+    /// out of the tape's buffer pool.
+    tape: Mutex<Tape>,
 }
 
 impl RtpService {
@@ -50,7 +56,7 @@ impl RtpService {
     /// Panics if the model has no pipeline.
     pub fn new(model: M2G4Rtp) -> Self {
         assert!(model.has_pipeline(), "service needs a trained model with a pipeline");
-        Self { model }
+        Self { model, tape: Mutex::new(Tape::inference()) }
     }
 
     /// Handles one RTP request end to end.
@@ -58,8 +64,11 @@ impl RtpService {
         let t0 = std::time::Instant::now();
         // Feature Extraction Layer
         let graph = self.model.build_graph(city, courier, query);
-        // Inference Layer
-        let prediction = self.model.predict(&graph);
+        // Inference Layer — pooled no-grad tape
+        let prediction = {
+            let mut tape = self.tape.lock().expect("inference tape poisoned");
+            self.model.predict_into(&mut tape, &graph)
+        };
         // Application Layer
         let sorted_orders = prediction.route.clone();
         let mut stops_away = vec![0usize; query.orders.len()];

@@ -52,6 +52,7 @@
 mod params;
 mod tape;
 
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod parallel;

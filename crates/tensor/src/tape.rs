@@ -5,7 +5,24 @@
 //! [`TensorId`]. [`Tape::backward`] seeds the gradient of a scalar loss
 //! with 1 and walks the arena in reverse, accumulating into each node's
 //! gradient buffer and finally into the [`ParamStore`] for `Param` leaves.
+//!
+//! # Memory model
+//!
+//! Storage is split into parallel arenas: `nodes` holds shapes and op
+//! metadata, `bufs` holds the value buffers, and `grads` (grad mode
+//! only) holds one gradient buffer per node. Nodes reference their
+//! value buffer by index, so views ([`Tape::reshape`]) share a buffer
+//! instead of copying, and backward can borrow one node's gradient
+//! mutably while reading another node's values — no cloning.
+//!
+//! [`Tape::clear`] moves every buffer into a free-list pool; the next
+//! forward pass pops from the pool instead of hitting the allocator.
+//! A tape reused via `clear()` across samples/epochs is allocation-free
+//! in steady state. [`Tape::inference`] builds a no-grad tape that
+//! skips gradient allocation and op-payload recording entirely;
+//! [`Tape::backward`] on such a tape panics.
 
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
 
 /// Handle to a tensor on a [`Tape`].
@@ -61,27 +78,67 @@ enum Op {
 struct Node {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
-    grad: Vec<f32>,
+    /// Index into `Tape::bufs` of this node's value buffer. Views
+    /// (reshape) share the producing node's buffer index.
+    buf: u32,
     op: Op,
 }
 
 /// A single forward pass: an append-only arena of tensors and the ops
-/// that produced them.
-#[derive(Debug, Default)]
+/// that produced them. See the module docs for the memory model.
+#[derive(Debug)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Value buffers, indexed by `Node::buf`.
+    bufs: Vec<Vec<f32>>,
+    /// One gradient buffer per node (grad mode only; empty otherwise).
+    grads: Vec<Vec<f32>>,
+    /// Free list of recycled buffers, refilled by [`Tape::clear`].
+    pool: Vec<Vec<f32>>,
+    grad_enabled: bool,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    fn with_grad(grad_enabled: bool) -> Self {
+        Self {
+            nodes: Vec::new(),
+            bufs: Vec::new(),
+            grads: Vec::new(),
+            pool: Vec::new(),
+            grad_enabled,
+            pool_hits: 0,
+            pool_misses: 0,
+        }
+    }
+
+    /// Creates an empty tape that records gradients.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::with_grad(true)
+    }
+
+    /// Creates an empty no-grad tape for inference: gradient buffers
+    /// are never allocated and op payloads (concat lists, gather
+    /// indices, softmax masks) are not recorded. [`Tape::backward`] and
+    /// [`Tape::grad`] panic on such a tape.
+    pub fn inference() -> Self {
+        Self::with_grad(false)
     }
 
     /// Creates an empty tape with room for `cap` nodes (hot loops).
     pub fn with_capacity(cap: usize) -> Self {
-        Self { nodes: Vec::with_capacity(cap) }
+        let mut t = Self::new();
+        t.nodes.reserve(cap);
+        t.bufs.reserve(cap);
+        t.grads.reserve(cap);
+        t
     }
 
     /// Number of nodes recorded so far.
@@ -94,12 +151,73 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Whether this tape records gradients (false for [`Tape::inference`]).
+    pub fn is_grad_enabled(&self) -> bool {
+        self.grad_enabled
+    }
+
+    /// Forgets all nodes but keeps every buffer in the free-list pool,
+    /// so the next forward pass on this tape reuses their allocations.
+    /// Reusing a cleared tape is bit-identical to using a fresh one.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.pool.append(&mut self.bufs);
+        self.pool.append(&mut self.grads);
+    }
+
+    /// `(pool hits, pool misses)` — buffer requests served from the
+    /// free list vs. fresh heap allocations, over the tape's lifetime.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool_hits, self.pool_misses)
+    }
+
+    /// Pops a recycled buffer from the pool (cleared, capacity kept)
+    /// or allocates an empty one.
+    fn alloc(&mut self) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                self.pool_hits += 1;
+                v
+            }
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// A pooled buffer of `len` copies of `fill`.
+    fn alloc_filled(&mut self, len: usize, fill: f32) -> Vec<f32> {
+        let mut v = self.alloc();
+        v.resize(len, fill);
+        v
+    }
+
     fn push(&mut self, rows: usize, cols: usize, data: Vec<f32>, op: Op) -> TensorId {
         debug_assert_eq!(data.len(), rows * cols);
+        let buf = self.bufs.len() as u32;
+        self.bufs.push(data);
+        self.push_view(rows, cols, buf, op)
+    }
+
+    /// Appends a node that references an existing buffer (zero-copy
+    /// views). In no-grad mode the op is dropped in favour of `Leaf`.
+    fn push_view(&mut self, rows: usize, cols: usize, buf: u32, op: Op) -> TensorId {
         let id = TensorId(self.nodes.len() as u32);
-        let grad = vec![0.0; data.len()];
-        self.nodes.push(Node { rows, cols, data, grad, op });
+        if self.grad_enabled {
+            let grad = self.alloc_filled(rows * cols, 0.0);
+            self.grads.push(grad);
+            self.nodes.push(Node { rows, cols, buf, op });
+        } else {
+            self.nodes.push(Node { rows, cols, buf, op: Op::Leaf });
+        }
         id
+    }
+
+    /// Buffer index of a tensor's values.
+    fn bufi(&self, t: TensorId) -> usize {
+        self.nodes[t.idx()].buf as usize
     }
 
     /// Shape of a tensor as `(rows, cols)`.
@@ -110,12 +228,13 @@ impl Tape {
 
     /// Read-only view of a tensor's values.
     pub fn data(&self, t: TensorId) -> &[f32] {
-        &self.nodes[t.idx()].data
+        &self.bufs[self.bufi(t)]
     }
 
     /// Read-only view of a tensor's gradient (valid after `backward`).
     pub fn grad(&self, t: TensorId) -> &[f32] {
-        &self.nodes[t.idx()].grad
+        assert!(self.grad_enabled, "grad() on a no-grad (inference) tape");
+        &self.grads[t.idx()]
     }
 
     /// The single value of a `[1,1]` tensor.
@@ -123,9 +242,8 @@ impl Tape {
     /// # Panics
     /// Panics if the tensor is not `1×1`.
     pub fn scalar(&self, t: TensorId) -> f32 {
-        let n = &self.nodes[t.idx()];
-        assert_eq!((n.rows, n.cols), (1, 1), "scalar() on a non-1x1 tensor");
-        n.data[0]
+        assert_eq!(self.shape(t), (1, 1), "scalar() on a non-1x1 tensor");
+        self.data(t)[0]
     }
 
     // ---------------------------------------------------------------
@@ -140,7 +258,9 @@ impl Tape {
 
     /// Records a `[1,1]` constant.
     pub fn scalar_const(&mut self, v: f32) -> TensorId {
-        self.push(1, 1, vec![v], Op::Leaf)
+        let mut out = self.alloc();
+        out.push(v);
+        self.push(1, 1, out, Op::Leaf)
     }
 
     /// Leases a parameter from `store` onto this tape. Gradients flowing
@@ -148,32 +268,31 @@ impl Tape {
     /// [`Tape::backward`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> TensorId {
         let (rows, cols) = store.shape(id);
-        self.push(rows, cols, store.data(id).to_vec(), Op::Param(id))
+        let mut out = self.alloc();
+        out.extend_from_slice(store.data(id));
+        self.push(rows, cols, out, Op::Param(id))
     }
 
     // ---------------------------------------------------------------
     // Linear algebra
     // ---------------------------------------------------------------
 
-    /// Matrix product `a @ b`: `[r,k] x [k,c] -> [r,c]`.
+    /// Matrix product `a @ b`: `[r,k] x [k,c] -> [r,c]`, via the
+    /// cache-blocked kernel in [`crate::kernels`].
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
         let (ar, ak) = self.shape(a);
         let (bk, bc) = self.shape(b);
         assert_eq!(ak, bk, "matmul inner dim mismatch: [{ar},{ak}] x [{bk},{bc}]");
-        let mut out = vec![0.0f32; ar * bc];
-        {
-            let da = &self.nodes[a.idx()].data;
-            let db = &self.nodes[b.idx()].data;
-            matmul_into(da, db, &mut out, ar, ak, bc);
-        }
+        let mut out = self.alloc_filled(ar * bc, 0.0);
+        kernels::matmul(self.data(a), self.data(b), &mut out, ar, ak, bc);
         self.push(ar, bc, out, Op::Matmul(a, b))
     }
 
     /// Transpose `[r,c] -> [c,r]`.
     pub fn transpose(&mut self, a: TensorId) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = vec![0.0f32; r * c];
+        let mut out = self.alloc_filled(r * c, 0.0);
+        let da = self.data(a);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = da[i * c + j];
@@ -183,11 +302,12 @@ impl Tape {
     }
 
     /// Reinterprets the data with a new shape (`rows*cols` must match).
+    /// Zero-copy: the view node shares the source buffer.
     pub fn reshape(&mut self, a: TensorId, rows: usize, cols: usize) -> TensorId {
         let (r, c) = self.shape(a);
         assert_eq!(r * c, rows * cols, "reshape element count mismatch");
-        let data = self.nodes[a.idx()].data.clone();
-        self.push(rows, cols, data, Op::Reshape(a))
+        let buf = self.nodes[a.idx()].buf;
+        self.push_view(rows, cols, buf, Op::Reshape(a))
     }
 
     // ---------------------------------------------------------------
@@ -201,25 +321,34 @@ impl Tape {
         sa
     }
 
+    /// Zips two same-shape tensors through `f` into a pooled buffer.
+    fn binary(
+        &mut self,
+        a: TensorId,
+        b: TensorId,
+        op: Op,
+        name: &str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> TensorId {
+        let (r, c) = self.binary_same_shape(a, b, name);
+        let mut out = self.alloc();
+        out.extend(self.data(a).iter().zip(self.data(b)).map(|(&x, &y)| f(x, y)));
+        self.push(r, c, out, op)
+    }
+
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let (r, c) = self.binary_same_shape(a, b, "add");
-        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x + y);
-        self.push(r, c, out, Op::Add(a, b))
+        self.binary(a, b, Op::Add(a, b), "add", |x, y| x + y)
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let (r, c) = self.binary_same_shape(a, b, "sub");
-        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x - y);
-        self.push(r, c, out, Op::Sub(a, b))
+        self.binary(a, b, Op::Sub(a, b), "sub", |x, y| x - y)
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let (r, c) = self.binary_same_shape(a, b, "mul");
-        let out = zip_map(&self.nodes[a.idx()].data, &self.nodes[b.idx()].data, |x, y| x * y);
-        self.push(r, c, out, Op::Mul(a, b))
+        self.binary(a, b, Op::Mul(a, b), "mul", |x, y| x * y)
     }
 
     /// Broadcast add of a row vector: `[r,c] + [1,c]`.
@@ -228,9 +357,9 @@ impl Tape {
         let (r, c) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!((br, bc), (1, c), "add_row expects [1,{c}], got [{br},{bc}]");
-        let da = &self.nodes[a.idx()].data;
-        let db = &self.nodes[b.idx()].data;
-        let mut out = Vec::with_capacity(r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
+        let db = self.data(b);
         for i in 0..r {
             for j in 0..c {
                 out.push(da[i * c + j] + db[j]);
@@ -244,9 +373,9 @@ impl Tape {
         let (r, c) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!((br, bc), (r, 1), "add_col expects [{r},1], got [{br},{bc}]");
-        let da = &self.nodes[a.idx()].data;
-        let db = &self.nodes[b.idx()].data;
-        let mut out = Vec::with_capacity(r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
+        let db = self.data(b);
         for i in 0..r {
             for j in 0..c {
                 out.push(da[i * c + j] + db[i]);
@@ -263,9 +392,9 @@ impl Tape {
         let (c, bc) = self.shape(b);
         assert_eq!(ac, 1, "add_outer lhs must be a column vector");
         assert_eq!(bc, 1, "add_outer rhs must be a column vector");
-        let da = &self.nodes[a.idx()].data;
-        let db = &self.nodes[b.idx()].data;
-        let mut out = Vec::with_capacity(r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
+        let db = self.data(b);
         for &ai in da.iter().take(r) {
             for &bj in db.iter().take(c) {
                 out.push(ai + bj);
@@ -278,8 +407,9 @@ impl Tape {
     pub fn mul_scalar_t(&mut self, a: TensorId, s: TensorId) -> TensorId {
         let (r, c) = self.shape(a);
         assert_eq!(self.shape(s), (1, 1), "mul_scalar_t scale must be 1x1");
-        let sv = self.nodes[s.idx()].data[0];
-        let out = self.nodes[a.idx()].data.iter().map(|x| x * sv).collect();
+        let mut out = self.alloc();
+        let sv = self.data(s)[0];
+        out.extend(self.data(a).iter().map(|x| x * sv));
         self.push(r, c, out, Op::MulScalarT(a, s))
     }
 
@@ -289,9 +419,9 @@ impl Tape {
         let (r, c) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!((br, bc), (1, c), "mul_row expects [1,{c}], got [{br},{bc}]");
-        let da = &self.nodes[a.idx()].data;
-        let db = &self.nodes[b.idx()].data;
-        let mut out = Vec::with_capacity(r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
+        let db = self.data(b);
         for i in 0..r {
             for j in 0..c {
                 out.push(da[i * c + j] * db[j]);
@@ -303,14 +433,16 @@ impl Tape {
     /// Multiplies by a compile-time constant.
     pub fn scale(&mut self, a: TensorId, k: f32) -> TensorId {
         let (r, c) = self.shape(a);
-        let out = self.nodes[a.idx()].data.iter().map(|x| x * k).collect();
+        let mut out = self.alloc();
+        out.extend(self.data(a).iter().map(|x| x * k));
         self.push(r, c, out, Op::Scale(a, k))
     }
 
     /// Adds a compile-time constant to every element.
     pub fn add_scalar(&mut self, a: TensorId, k: f32) -> TensorId {
         let (r, c) = self.shape(a);
-        let out = self.nodes[a.idx()].data.iter().map(|x| x + k).collect();
+        let mut out = self.alloc();
+        out.extend(self.data(a).iter().map(|x| x + k));
         self.push(r, c, out, Op::AddScalar(a))
     }
 
@@ -325,7 +457,8 @@ impl Tape {
 
     fn unary(&mut self, a: TensorId, op: Op, f: impl Fn(f32) -> f32) -> TensorId {
         let (r, c) = self.shape(a);
-        let out = self.nodes[a.idx()].data.iter().map(|&x| f(x)).collect();
+        let mut out = self.alloc();
+        out.extend(self.data(a).iter().map(|&x| f(x)));
         self.push(r, c, out, op)
     }
 
@@ -380,15 +513,16 @@ impl Tape {
                 pc
             })
             .sum();
-        let mut out = Vec::with_capacity(r * total_c);
+        let mut out = self.alloc();
         for i in 0..r {
             for &p in parts {
                 let (_, pc) = self.shape(p);
-                let d = &self.nodes[p.idx()].data;
+                let d = self.data(p);
                 out.extend_from_slice(&d[i * pc..(i + 1) * pc]);
             }
         }
-        self.push(r, total_c, out, Op::ConcatCols(parts.to_vec()))
+        let op = if self.grad_enabled { Op::ConcatCols(parts.to_vec()) } else { Op::Leaf };
+        self.push(r, total_c, out, op)
     }
 
     /// Concatenates tensors with equal column counts along the row axis.
@@ -403,24 +537,26 @@ impl Tape {
                 pr
             })
             .sum();
-        let mut out = Vec::with_capacity(total_r * c);
+        let mut out = self.alloc();
         for &p in parts {
-            out.extend_from_slice(&self.nodes[p.idx()].data);
+            out.extend_from_slice(self.data(p));
         }
-        self.push(total_r, c, out, Op::ConcatRows(parts.to_vec()))
+        let op = if self.grad_enabled { Op::ConcatRows(parts.to_vec()) } else { Op::Leaf };
+        self.push(total_r, c, out, op)
     }
 
     /// Gathers rows of `a` by index (rows may repeat — embedding lookup,
     /// route-ordered re-sorting for the SortLSTM).
     pub fn gather_rows(&mut self, a: TensorId, indices: &[usize]) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = Vec::with_capacity(indices.len() * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
         for &i in indices {
             assert!(i < r, "gather_rows index {i} out of bounds for {r} rows");
             out.extend_from_slice(&da[i * c..(i + 1) * c]);
         }
-        self.push(indices.len(), c, out, Op::GatherRows(a, indices.to_vec()))
+        let op = if self.grad_enabled { Op::GatherRows(a, indices.to_vec()) } else { Op::Leaf };
+        self.push(indices.len(), c, out, op)
     }
 
     /// Extracts a single row as a `[1,c]` tensor.
@@ -431,8 +567,8 @@ impl Tape {
     /// Tiles the whole matrix `k` times vertically: `[r,c] -> [k*r,c]`.
     pub fn repeat_rows(&mut self, a: TensorId, k: usize) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = Vec::with_capacity(k * r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
         for _ in 0..k {
             out.extend_from_slice(da);
         }
@@ -442,8 +578,8 @@ impl Tape {
     /// Repeats each row `k` times consecutively: `[r,c] -> [r*k,c]`.
     pub fn repeat_interleave_rows(&mut self, a: TensorId, k: usize) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = Vec::with_capacity(k * r * c);
+        let mut out = self.alloc();
+        let da = self.data(a);
         for i in 0..r {
             for _ in 0..k {
                 out.extend_from_slice(&da[i * c..(i + 1) * c]);
@@ -458,30 +594,34 @@ impl Tape {
 
     /// Sum of all elements -> `[1,1]`.
     pub fn sum_all(&mut self, a: TensorId) -> TensorId {
-        let s: f32 = self.nodes[a.idx()].data.iter().sum();
-        self.push(1, 1, vec![s], Op::SumAll(a))
+        let mut out = self.alloc();
+        out.push(self.data(a).iter().sum());
+        self.push(1, 1, out, Op::SumAll(a))
     }
 
     /// Mean of all elements -> `[1,1]`.
     pub fn mean_all(&mut self, a: TensorId) -> TensorId {
-        let n = self.nodes[a.idx()].data.len().max(1);
-        let s: f32 = self.nodes[a.idx()].data.iter().sum();
-        self.push(1, 1, vec![s / n as f32], Op::MeanAll(a))
+        let mut out = self.alloc();
+        let da = self.data(a);
+        out.push(da.iter().sum::<f32>() / da.len().max(1) as f32);
+        self.push(1, 1, out, Op::MeanAll(a))
     }
 
     /// Per-row sum: `[r,c] -> [r,1]`.
     pub fn row_sum(&mut self, a: TensorId) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let out = (0..r).map(|i| da[i * c..(i + 1) * c].iter().sum()).collect();
+        let mut out = self.alloc();
+        let da = self.data(a);
+        out.extend((0..r).map(|i| da[i * c..(i + 1) * c].iter().sum::<f32>()));
         self.push(r, 1, out, Op::RowSum(a))
     }
 
     /// Per-row mean: `[r,c] -> [r,1]`.
     pub fn row_mean(&mut self, a: TensorId) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let out = (0..r).map(|i| da[i * c..(i + 1) * c].iter().sum::<f32>() / c as f32).collect();
+        let mut out = self.alloc();
+        let da = self.data(a);
+        out.extend((0..r).map(|i| da[i * c..(i + 1) * c].iter().sum::<f32>() / c as f32));
         self.push(r, 1, out, Op::RowMean(a))
     }
 
@@ -498,8 +638,8 @@ impl Tape {
     pub fn masked_softmax_rows(&mut self, a: TensorId, mask: &[bool]) -> TensorId {
         let (r, c) = self.shape(a);
         assert_eq!(mask.len(), r * c, "mask length mismatch");
-        let da = &self.nodes[a.idx()].data;
-        let mut out = vec![0.0f32; r * c];
+        let mut out = self.alloc_filled(r * c, 0.0);
+        let da = self.data(a);
         for i in 0..r {
             softmax_row(
                 &da[i * c..(i + 1) * c],
@@ -507,7 +647,8 @@ impl Tape {
                 &mut out[i * c..(i + 1) * c],
             );
         }
-        self.push(r, c, out, Op::MaskedSoftmaxRows(a, mask.to_vec()))
+        let op = if self.grad_enabled { Op::MaskedSoftmaxRows(a, mask.to_vec()) } else { Op::Leaf };
+        self.push(r, c, out, op)
     }
 
     /// Row-wise log-softmax over unmasked entries; masked entries are set
@@ -517,8 +658,8 @@ impl Tape {
     pub fn masked_log_softmax_rows(&mut self, a: TensorId, mask: &[bool]) -> TensorId {
         let (r, c) = self.shape(a);
         assert_eq!(mask.len(), r * c, "mask length mismatch");
-        let da = &self.nodes[a.idx()].data;
-        let mut out = vec![f32::NEG_INFINITY; r * c];
+        let mut out = self.alloc_filled(r * c, f32::NEG_INFINITY);
+        let da = self.data(a);
         for i in 0..r {
             log_softmax_row(
                 &da[i * c..(i + 1) * c],
@@ -526,19 +667,22 @@ impl Tape {
                 &mut out[i * c..(i + 1) * c],
             );
         }
-        self.push(r, c, out, Op::MaskedLogSoftmaxRows(a, mask.to_vec()))
+        let op =
+            if self.grad_enabled { Op::MaskedLogSoftmaxRows(a, mask.to_vec()) } else { Op::Leaf };
+        self.push(r, c, out, op)
     }
 
     /// Picks elements `(row, col)` into a `[k,1]` column vector.
     pub fn pick_elements(&mut self, a: TensorId, coords: &[(usize, usize)]) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = Vec::with_capacity(coords.len());
+        let mut out = self.alloc();
+        let da = self.data(a);
         for &(i, j) in coords {
             assert!(i < r && j < c, "pick_elements ({i},{j}) out of bounds [{r},{c}]");
             out.push(da[i * c + j]);
         }
-        self.push(coords.len(), 1, out, Op::PickElements(a, coords.to_vec()))
+        let op = if self.grad_enabled { Op::PickElements(a, coords.to_vec()) } else { Op::Leaf };
+        self.push(coords.len(), 1, out, op)
     }
 
     /// Row-wise layer normalisation (zero mean, unit variance per row).
@@ -546,8 +690,8 @@ impl Tape {
     /// [`Tape::add_row`] on `[1,c]` parameters.
     pub fn layer_norm_rows(&mut self, a: TensorId, eps: f32) -> TensorId {
         let (r, c) = self.shape(a);
-        let da = &self.nodes[a.idx()].data;
-        let mut out = vec![0.0f32; r * c];
+        let mut out = self.alloc_filled(r * c, 0.0);
+        let da = self.data(a);
         for i in 0..r {
             let row = &da[i * c..(i + 1) * c];
             let mean = row.iter().sum::<f32>() / c as f32;
@@ -612,98 +756,90 @@ impl Tape {
     /// [`ParamStore`] itself. The propagation itself is identical;
     /// only the destination of `Op::Param` gradients differs.
     pub fn backward_into<S: crate::GradSink>(&mut self, loss: TensorId, store: &mut S) {
+        assert!(self.grad_enabled, "backward on a no-grad (inference) tape");
         {
-            let n = &mut self.nodes[loss.idx()];
+            let n = &self.nodes[loss.idx()];
             assert_eq!((n.rows, n.cols), (1, 1), "backward() expects a scalar loss");
-            n.grad[0] += 1.0;
+            self.grads[loss.idx()][0] += 1.0;
         }
         for i in (0..=loss.idx()).rev() {
-            // Split borrows: take the node's grad out, push into inputs.
-            let op = self.nodes[i].op.clone();
-            let grad = std::mem::take(&mut self.nodes[i].grad);
+            // Take the node's gradient out so input gradients can be
+            // borrowed mutably while it is read. Ops are dispatched by
+            // reference: payload Vecs (concat lists, gather indices,
+            // masks) are never cloned, and because `nodes`, `bufs` and
+            // `grads` are separate fields, input values are read
+            // straight from `bufs` while `grads` is written — no data
+            // clones either.
+            let grad = std::mem::take(&mut self.grads[i]);
             if grad.iter().all(|&g| g == 0.0) {
-                self.nodes[i].grad = grad;
+                self.grads[i] = grad;
                 continue;
             }
             let (rows, cols) = (self.nodes[i].rows, self.nodes[i].cols);
-            match op {
+            match &self.nodes[i].op {
                 Op::Leaf => {}
-                Op::Param(pid) => store.accumulate_grad(pid, &grad),
-                Op::Matmul(a, b) => {
+                Op::Param(pid) => store.accumulate_grad(*pid, &grad),
+                &Op::Matmul(a, b) => {
                     let (ar, ak) = self.shape(a);
                     let (_, bc) = self.shape(b);
-                    // gA += G @ B^T
-                    let db = self.nodes[b.idx()].data.clone();
-                    let da = self.nodes[a.idx()].data.clone();
-                    {
-                        let ga = &mut self.nodes[a.idx()].grad;
-                        for i2 in 0..ar {
-                            for j in 0..bc {
-                                let g = grad[i2 * bc + j];
-                                if g != 0.0 {
-                                    for k in 0..ak {
-                                        ga[i2 * ak + k] += g * db[k * bc + j];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    // gB += A^T @ G
-                    {
-                        let gb = &mut self.nodes[b.idx()].grad;
-                        for i2 in 0..ar {
-                            for k in 0..ak {
-                                let av = da[i2 * ak + k];
-                                if av != 0.0 {
-                                    for j in 0..bc {
-                                        gb[k * bc + j] += av * grad[i2 * bc + j];
-                                    }
-                                }
-                            }
-                        }
-                    }
+                    let (ba, bb) = (self.bufi(a), self.bufi(b));
+                    kernels::matmul_grad_a(
+                        &grad,
+                        &self.bufs[bb],
+                        &mut self.grads[a.idx()],
+                        ar,
+                        ak,
+                        bc,
+                    );
+                    kernels::matmul_grad_b(
+                        &self.bufs[ba],
+                        &grad,
+                        &mut self.grads[b.idx()],
+                        ar,
+                        ak,
+                        bc,
+                    );
                 }
-                Op::Add(a, b) => {
-                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
-                    add_assign(&mut self.nodes[b.idx()].grad, &grad);
+                &Op::Add(a, b) => {
+                    add_assign(&mut self.grads[a.idx()], &grad);
+                    add_assign(&mut self.grads[b.idx()], &grad);
                 }
-                Op::Sub(a, b) => {
-                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
-                    sub_assign(&mut self.nodes[b.idx()].grad, &grad);
+                &Op::Sub(a, b) => {
+                    add_assign(&mut self.grads[a.idx()], &grad);
+                    sub_assign(&mut self.grads[b.idx()], &grad);
                 }
-                Op::Mul(a, b) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let db = self.nodes[b.idx()].data.clone();
-                    mul_add_assign(&mut self.nodes[a.idx()].grad, &grad, &db);
-                    mul_add_assign(&mut self.nodes[b.idx()].grad, &grad, &da);
+                &Op::Mul(a, b) => {
+                    let (ba, bb) = (self.bufi(a), self.bufi(b));
+                    mul_add_assign(&mut self.grads[a.idx()], &grad, &self.bufs[bb]);
+                    mul_add_assign(&mut self.grads[b.idx()], &grad, &self.bufs[ba]);
                 }
-                Op::AddRow(a, b) => {
-                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
-                    let gb = &mut self.nodes[b.idx()].grad;
+                &Op::AddRow(a, b) => {
+                    add_assign(&mut self.grads[a.idx()], &grad);
+                    let gb = &mut self.grads[b.idx()];
                     for i2 in 0..rows {
                         for j in 0..cols {
                             gb[j] += grad[i2 * cols + j];
                         }
                     }
                 }
-                Op::AddCol(a, b) => {
-                    add_assign(&mut self.nodes[a.idx()].grad, &grad);
-                    let gb = &mut self.nodes[b.idx()].grad;
+                &Op::AddCol(a, b) => {
+                    add_assign(&mut self.grads[a.idx()], &grad);
+                    let gb = &mut self.grads[b.idx()];
                     for i2 in 0..rows {
                         for j in 0..cols {
                             gb[i2] += grad[i2 * cols + j];
                         }
                     }
                 }
-                Op::AddOuter(a, b) => {
+                &Op::AddOuter(a, b) => {
                     {
-                        let ga = &mut self.nodes[a.idx()].grad;
+                        let ga = &mut self.grads[a.idx()];
                         for i2 in 0..rows {
                             ga[i2] += grad[i2 * cols..(i2 + 1) * cols].iter().sum::<f32>();
                         }
                     }
                     {
-                        let gb = &mut self.nodes[b.idx()].grad;
+                        let gb = &mut self.grads[b.idx()];
                         for j in 0..cols {
                             for i2 in 0..rows {
                                 gb[j] += grad[i2 * cols + j];
@@ -711,23 +847,19 @@ impl Tape {
                         }
                     }
                 }
-                Op::MulScalarT(a, s) => {
-                    let sv = self.nodes[s.idx()].data[0];
-                    let da = self.nodes[a.idx()].data.clone();
-                    {
-                        let ga = &mut self.nodes[a.idx()].grad;
-                        for (g, gr) in ga.iter_mut().zip(&grad) {
-                            *g += gr * sv;
-                        }
+                &Op::MulScalarT(a, s) => {
+                    let sv = self.bufs[self.bufi(s)][0];
+                    for (g, gr) in self.grads[a.idx()].iter_mut().zip(&grad) {
+                        *g += gr * sv;
                     }
-                    let gs: f32 = grad.iter().zip(&da).map(|(g, x)| g * x).sum();
-                    self.nodes[s.idx()].grad[0] += gs;
+                    let ba = self.bufi(a);
+                    let gs: f32 = grad.iter().zip(&self.bufs[ba]).map(|(g, x)| g * x).sum();
+                    self.grads[s.idx()][0] += gs;
                 }
-                Op::MulRow(a, b) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let db = self.nodes[b.idx()].data.clone();
+                &Op::MulRow(a, b) => {
+                    let (ba, bb) = (self.bufi(a), self.bufi(b));
                     {
-                        let ga = &mut self.nodes[a.idx()].grad;
+                        let (ga, db) = (&mut self.grads[a.idx()], &self.bufs[bb]);
                         for i2 in 0..rows {
                             for j in 0..cols {
                                 ga[i2 * cols + j] += grad[i2 * cols + j] * db[j];
@@ -735,7 +867,7 @@ impl Tape {
                         }
                     }
                     {
-                        let gb = &mut self.nodes[b.idx()].grad;
+                        let (gb, da) = (&mut self.grads[b.idx()], &self.bufs[ba]);
                         for i2 in 0..rows {
                             for j in 0..cols {
                                 gb[j] += grad[i2 * cols + j] * da[i2 * cols + j];
@@ -743,69 +875,68 @@ impl Tape {
                         }
                     }
                 }
-                Op::Scale(a, k) => {
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for (g, gr) in ga.iter_mut().zip(&grad) {
+                &Op::Scale(a, k) => {
+                    for (g, gr) in self.grads[a.idx()].iter_mut().zip(&grad) {
                         *g += gr * k;
                     }
                 }
-                Op::AddScalar(a) => add_assign(&mut self.nodes[a.idx()].grad, &grad),
-                Op::Abs(a) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                &Op::AddScalar(a) => add_assign(&mut self.grads[a.idx()], &grad),
+                &Op::Abs(a) => {
+                    let ba = self.bufi(a);
+                    let (ga, da) = (&mut self.grads[a.idx()], &self.bufs[ba]);
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(da) {
                         *g += gr * if *x >= 0.0 { 1.0 } else { -1.0 };
                     }
                 }
-                Op::Relu(a) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                &Op::Relu(a) => {
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(out) {
                         if *o > 0.0 {
                             *g += gr;
                         }
                     }
                 }
-                Op::LeakyRelu(a, slope) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                &Op::LeakyRelu(a, slope) => {
+                    let ba = self.bufi(a);
+                    let (ga, da) = (&mut self.grads[a.idx()], &self.bufs[ba]);
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(da) {
                         *g += gr * if *x > 0.0 { 1.0 } else { slope };
                     }
                 }
-                Op::Tanh(a) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                &Op::Tanh(a) => {
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(out) {
                         *g += gr * (1.0 - o * o);
                     }
                 }
-                Op::Sigmoid(a) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                &Op::Sigmoid(a) => {
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(out) {
                         *g += gr * o * (1.0 - o);
                     }
                 }
-                Op::Exp(a) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(&out) {
+                &Op::Exp(a) => {
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
+                    for ((g, gr), o) in ga.iter_mut().zip(&grad).zip(out) {
                         *g += gr * o;
                     }
                 }
-                Op::Ln(a) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(&da) {
+                &Op::Ln(a) => {
+                    let ba = self.bufi(a);
+                    let (ga, da) = (&mut self.grads[a.idx()], &self.bufs[ba]);
+                    for ((g, gr), x) in ga.iter_mut().zip(&grad).zip(da) {
                         *g += gr / x;
                     }
                 }
                 Op::ConcatCols(parts) => {
                     let mut col_off = 0;
-                    for p in parts {
+                    for &p in parts {
                         let (pr, pc) = self.shape(p);
-                        let gp = &mut self.nodes[p.idx()].grad;
+                        let gp = &mut self.grads[p.idx()];
                         for i2 in 0..pr {
                             for j in 0..pc {
                                 gp[i2 * pc + j] += grad[i2 * cols + col_off + j];
@@ -816,9 +947,9 @@ impl Tape {
                 }
                 Op::ConcatRows(parts) => {
                     let mut row_off = 0;
-                    for p in parts {
+                    for &p in parts {
                         let (pr, pc) = self.shape(p);
-                        let gp = &mut self.nodes[p.idx()].grad;
+                        let gp = &mut self.grads[p.idx()];
                         for i2 in 0..pr {
                             for j in 0..pc {
                                 gp[i2 * pc + j] += grad[(row_off + i2) * cols + j];
@@ -828,16 +959,16 @@ impl Tape {
                     }
                 }
                 Op::GatherRows(a, indices) => {
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let ga = &mut self.grads[a.idx()];
                     for (k, &src) in indices.iter().enumerate() {
                         for j in 0..cols {
                             ga[src * cols + j] += grad[k * cols + j];
                         }
                     }
                 }
-                Op::RepeatRows(a, k) => {
+                &Op::RepeatRows(a, k) => {
                     let (ar, _) = self.shape(a);
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let ga = &mut self.grads[a.idx()];
                     for rep in 0..k {
                         for i2 in 0..ar {
                             for j in 0..cols {
@@ -846,9 +977,9 @@ impl Tape {
                         }
                     }
                 }
-                Op::RepeatInterleaveRows(a, k) => {
+                &Op::RepeatInterleaveRows(a, k) => {
                     let (ar, _) = self.shape(a);
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let ga = &mut self.grads[a.idx()];
                     for i2 in 0..ar {
                         for rep in 0..k {
                             for j in 0..cols {
@@ -857,8 +988,8 @@ impl Tape {
                         }
                     }
                 }
-                Op::Transpose(a) => {
-                    let ga = &mut self.nodes[a.idx()].grad;
+                &Op::Transpose(a) => {
+                    let ga = &mut self.grads[a.idx()];
                     // out is [rows, cols]; a is [cols, rows]
                     for i2 in 0..rows {
                         for j in 0..cols {
@@ -866,30 +997,28 @@ impl Tape {
                         }
                     }
                 }
-                Op::Reshape(a) => add_assign(&mut self.nodes[a.idx()].grad, &grad),
-                Op::SumAll(a) => {
+                &Op::Reshape(a) => add_assign(&mut self.grads[a.idx()], &grad),
+                &Op::SumAll(a) => {
                     let g = grad[0];
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    ga.iter_mut().for_each(|x| *x += g);
+                    self.grads[a.idx()].iter_mut().for_each(|x| *x += g);
                 }
-                Op::MeanAll(a) => {
-                    let n = self.nodes[a.idx()].data.len().max(1);
-                    let g = grad[0] / n as f32;
-                    let ga = &mut self.nodes[a.idx()].grad;
-                    ga.iter_mut().for_each(|x| *x += g);
+                &Op::MeanAll(a) => {
+                    let (ar, ac) = self.shape(a);
+                    let g = grad[0] / (ar * ac).max(1) as f32;
+                    self.grads[a.idx()].iter_mut().for_each(|x| *x += g);
                 }
-                Op::RowSum(a) => {
+                &Op::RowSum(a) => {
                     let (_, ac) = self.shape(a);
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let ga = &mut self.grads[a.idx()];
                     for i2 in 0..rows {
                         for j in 0..ac {
                             ga[i2 * ac + j] += grad[i2];
                         }
                     }
                 }
-                Op::RowMean(a) => {
+                &Op::RowMean(a) => {
                     let (_, ac) = self.shape(a);
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let ga = &mut self.grads[a.idx()];
                     for i2 in 0..rows {
                         for j in 0..ac {
                             ga[i2 * ac + j] += grad[i2] / ac as f32;
@@ -897,8 +1026,8 @@ impl Tape {
                     }
                 }
                 Op::MaskedSoftmaxRows(a, mask) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
                     for i2 in 0..rows {
                         let p = &out[i2 * cols..(i2 + 1) * cols];
                         let g = &grad[i2 * cols..(i2 + 1) * cols];
@@ -912,8 +1041,8 @@ impl Tape {
                     }
                 }
                 Op::MaskedLogSoftmaxRows(a, mask) => {
-                    let out = self.nodes[i].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let bo = self.nodes[i].buf as usize;
+                    let (ga, out) = (&mut self.grads[a.idx()], &self.bufs[bo]);
                     for i2 in 0..rows {
                         let lp = &out[i2 * cols..(i2 + 1) * cols];
                         let g = &grad[i2 * cols..(i2 + 1) * cols];
@@ -927,15 +1056,15 @@ impl Tape {
                     }
                 }
                 Op::PickElements(a, coords) => {
-                    let (_, ac) = self.shape(a);
-                    let ga = &mut self.nodes[a.idx()].grad;
+                    let (_, ac) = self.shape(*a);
+                    let ga = &mut self.grads[a.idx()];
                     for (k, &(i2, j)) in coords.iter().enumerate() {
                         ga[i2 * ac + j] += grad[k];
                     }
                 }
-                Op::LayerNormRows(a, eps) => {
-                    let da = self.nodes[a.idx()].data.clone();
-                    let ga = &mut self.nodes[a.idx()].grad;
+                &Op::LayerNormRows(a, eps) => {
+                    let ba = self.bufi(a);
+                    let (ga, da) = (&mut self.grads[a.idx()], &self.bufs[ba]);
                     for i2 in 0..rows {
                         let row = &da[i2 * cols..(i2 + 1) * cols];
                         let g = &grad[i2 * cols..(i2 + 1) * cols];
@@ -953,7 +1082,7 @@ impl Tape {
                     }
                 }
             }
-            self.nodes[i].grad = grad;
+            self.grads[i] = grad;
         }
     }
 }
@@ -961,26 +1090,6 @@ impl Tape {
 // -------------------------------------------------------------------
 // free helpers
 // -------------------------------------------------------------------
-
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usize) {
-    // i-k-j loop order: streams through b and out rows, good locality.
-    for i in 0..r {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * c..(i + 1) * c];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let brow = &b[kk * c..(kk + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
-fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
-    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
-}
 
 fn add_assign(dst: &mut [f32], src: &[f32]) {
     for (d, s) in dst.iter_mut().zip(src) {
@@ -1269,5 +1378,115 @@ mod tests {
         let a = t.constant(2, 3, vec![0.0; 6]);
         let b = t.constant(2, 2, vec![0.0; 4]);
         t.matmul(a, b);
+    }
+
+    #[test]
+    fn reshape_is_zero_copy_view() {
+        let mut t = Tape::new();
+        let a = t.constant(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bufs_before = t.bufs.len();
+        let r = t.reshape(a, 3, 2);
+        assert_eq!(t.bufs.len(), bufs_before, "reshape must not allocate a buffer");
+        assert_eq!(t.shape(r), (3, 2));
+        assert_eq!(t.data(r), t.data(a));
+    }
+
+    #[test]
+    fn reshape_backward_flows_through_view() {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("p", 2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut t = Tape::new();
+        let x = t.param(&store, p);
+        let v = t.reshape(x, 3, 2);
+        let w = t.scale(v, 2.0);
+        let l = t.sum_all(w);
+        t.backward(l, &mut store);
+        assert_eq!(store.grad(p), &[2.0; 6]);
+    }
+
+    /// Builds a small expression exercising matmul, broadcast, masked
+    /// softmax, gather, reshape and a loss; returns the loss id.
+    fn sample_program(t: &mut Tape, store: &ParamStore, w: ParamId, b: ParamId) -> TensorId {
+        let x = t.constant(2, 3, vec![0.3, -0.2, 0.9, -1.1, 0.5, 0.4]);
+        let wv = t.param(store, w);
+        let bv = t.param(store, b);
+        let h = t.matmul(x, wv);
+        let h = t.add_row(h, bv);
+        let h = t.tanh(h);
+        let mask = vec![true, false, true, true, true, true, false, true];
+        let s = t.masked_softmax_rows(h, &mask);
+        let g = t.gather_rows(s, &[1, 0]);
+        let v = t.reshape(g, 4, 2);
+        let n = t.layer_norm_rows(v, 1e-3);
+        t.mean_all(n)
+    }
+
+    #[test]
+    fn cleared_tape_is_bit_identical_to_fresh_and_reuses_buffers() {
+        let mut store = ParamStore::new(11);
+        let w = store.add_xavier("w", 3, 4);
+        let b = store.add_zeros("b", 1, 4);
+
+        let mut fresh = Tape::new();
+        let loss_f = sample_program(&mut fresh, &store, w, b);
+        store.zero_grad();
+        fresh.backward(loss_f, &mut store);
+        let grads_fresh: Vec<u32> =
+            store.grad(w).iter().chain(store.grad(b)).map(|g| g.to_bits()).collect();
+
+        // Reused tape: run a *different* program first, clear, rerun.
+        let mut reused = Tape::new();
+        let warm = reused.constant(5, 7, vec![1.5; 35]);
+        let warm_t = reused.transpose(warm);
+        let warm2 = reused.matmul(warm, warm_t);
+        let warm_l = reused.mean_all(warm2);
+        assert!(reused.scalar(warm_l).is_finite());
+        reused.clear();
+        let loss_r = sample_program(&mut reused, &store, w, b);
+        store.zero_grad();
+        reused.backward(loss_r, &mut store);
+        let grads_reused: Vec<u32> =
+            store.grad(w).iter().chain(store.grad(b)).map(|g| g.to_bits()).collect();
+
+        let fb: Vec<u32> = fresh.data(loss_f).iter().map(|x| x.to_bits()).collect();
+        let rb: Vec<u32> = reused.data(loss_r).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(fb, rb, "forward data must be bit-identical after clear()");
+        assert_eq!(grads_fresh, grads_reused, "grads must be bit-identical after clear()");
+
+        // Steady state: rerunning the same program after clear() is
+        // served entirely from the pool — zero fresh allocations.
+        reused.clear();
+        let (_, misses_before) = reused.pool_stats();
+        let loss_r2 = sample_program(&mut reused, &store, w, b);
+        store.zero_grad();
+        reused.backward(loss_r2, &mut store);
+        let (hits_after, misses_after) = reused.pool_stats();
+        assert!(hits_after > 0, "cleared tape must serve buffers from the pool");
+        assert_eq!(misses_before, misses_after, "steady-state rerun must not hit the allocator");
+    }
+
+    #[test]
+    fn inference_tape_matches_training_forward_and_allocates_no_grads() {
+        let mut store = ParamStore::new(7);
+        let w = store.add_xavier("w", 3, 4);
+        let b = store.add_zeros("b", 1, 4);
+        let mut train = Tape::new();
+        let lt = sample_program(&mut train, &store, w, b);
+        let mut inf = Tape::inference();
+        let li = sample_program(&mut inf, &store, w, b);
+        assert_eq!(train.scalar(lt).to_bits(), inf.scalar(li).to_bits());
+        assert!(inf.grads.is_empty(), "no-grad tape must not allocate gradient buffers");
+        assert!(!inf.is_grad_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "no-grad")]
+    fn backward_on_inference_tape_panics() {
+        let mut store = ParamStore::new(0);
+        let p = store.add_param("p", 1, 1, vec![2.0]);
+        let mut t = Tape::inference();
+        let x = t.param(&store, p);
+        let l = t.sum_all(x);
+        t.backward(l, &mut store);
     }
 }
