@@ -414,6 +414,9 @@ impl DeepBaseline {
     /// routes with everything else frozen (validation-MAE early
     /// stopping).
     pub fn fit(&mut self, dataset: &Dataset) {
+        let _fit_span = rtp_obs::span!("deep.fit");
+        let obs = rtp_obs::metrics::global();
+        let (g_val_krc, g_val_mae) = (obs.gauge("deep.val_krc"), obs.gauge("deep.val_mae"));
         let builder = GraphBuilder::new(GraphConfig::default());
         let scaler = FeatureScaler::fit(dataset, &builder);
         let prep = |samples: &[RtpSample]| -> Vec<MultiLevelGraph> {
@@ -443,11 +446,13 @@ impl DeepBaseline {
         let mut worker_tapes: Vec<Tape> = (0..workers).map(|_| Tape::new()).collect();
 
         // ---------- phase 1: route ----------
+        let route_phase_span = rtp_obs::span!("deep.route_phase");
         let mut opt = Adam::new(self.config.lr);
         let mut best = f64::NEG_INFINITY;
         let mut best_snap = self.store.snapshot();
         let mut since = 0usize;
         for epoch in 0..self.config.route_epochs {
+            let _epoch_span = rtp_obs::span!("deep.epoch", epoch);
             indices.shuffle(&mut rng);
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
@@ -477,6 +482,7 @@ impl DeepBaseline {
                 opt.step(&mut self.store);
             }
             let krc = self.mean_val_krc(&val_graphs, &dataset.val);
+            g_val_krc.set(krc);
             if self.config.verbose {
                 eprintln!("[{}] route epoch {epoch:>3}  val KRC {krc:>6.3}", self.kind.label());
             }
@@ -492,13 +498,16 @@ impl DeepBaseline {
             }
         }
         self.store.restore(&best_snap);
+        drop(route_phase_span);
 
         // ---------- phase 2: time head on predicted routes ----------
+        let _time_phase_span = rtp_obs::span!("deep.time_phase");
         let mut opt = Adam::new(self.config.lr);
         let mut best = f64::MAX;
         let mut best_snap = self.store.snapshot();
         let mut since = 0usize;
         for epoch in 0..self.config.time_epochs {
+            let _epoch_span = rtp_obs::span!("deep.epoch", epoch);
             indices.shuffle(&mut rng);
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
@@ -535,6 +544,7 @@ impl DeepBaseline {
                 opt.step(&mut self.store);
             }
             let mae = self.mean_val_mae(&val_graphs, &dataset.val);
+            g_val_mae.set(mae);
             if self.config.verbose {
                 eprintln!("[{}] time epoch {epoch:>3}   val MAE {mae:>7.2}", self.kind.label());
             }

@@ -120,6 +120,8 @@ impl DeepEta {
     /// Trains on MAE over the training split with validation early
     /// stopping.
     pub fn fit(&mut self, dataset: &Dataset) {
+        let _fit_span = rtp_obs::span!("deepeta.fit");
+        let g_val_mae = rtp_obs::metrics::global().gauge("deepeta.val_mae");
         let builder = GraphBuilder::new(GraphConfig::default());
         let scaler = FeatureScaler::fit(dataset, &builder);
         let prep = |samples: &[RtpSample]| -> Vec<MultiLevelGraph> {
@@ -150,7 +152,8 @@ impl DeepEta {
             resolve_threads(self.config.threads).min(self.config.batch_size.max(1)).max(1);
         let mut worker_tapes: Vec<Tape> = (0..workers).map(|_| Tape::new()).collect();
         let mut val_tape = Tape::inference();
-        for _ in 0..self.config.epochs {
+        for epoch in 0..self.config.epochs {
+            let _epoch_span = rtp_obs::span!("deepeta.epoch", epoch);
             indices.shuffle(&mut rng);
             for batch in indices.chunks(self.config.batch_size) {
                 self.store.zero_grad();
@@ -187,6 +190,7 @@ impl DeepEta {
                 nl += s.truth.arrival.len();
             }
             let mae = sum / nl.max(1) as f64;
+            g_val_mae.set(mae);
             if mae < best {
                 best = mae;
                 best_snap = self.store.snapshot();

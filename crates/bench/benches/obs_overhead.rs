@@ -1,0 +1,114 @@
+//! Telemetry overhead: the cost of leaving the observability layer
+//! compiled into the training hot loop.
+//!
+//! Three arms train the same model on the same data:
+//! * **stripped** — metrics kill switch off, no trace sink: every
+//!   counter/gauge/histogram update and span open collapses to one
+//!   relaxed atomic load;
+//! * **instrumented** — the default shipping configuration (metrics
+//!   on, no trace sink attached);
+//! * **traced** — metrics on plus an in-memory span sink.
+//!
+//! Arms are interleaved and the minimum loop time of each is compared,
+//! so a background hiccup in one repetition cannot masquerade as
+//! overhead. Telemetry must also be *write-only*: the final-epoch loss
+//! bits must match across all arms. Writes `results/obs_overhead.json`.
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_bench::bench_dataset;
+
+const EPOCHS: usize = 2;
+const REPS: usize = 5;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    Stripped,
+    Instrumented,
+    Traced,
+}
+
+impl Arm {
+    fn label(self) -> &'static str {
+        match self {
+            Arm::Stripped => "stripped",
+            Arm::Instrumented => "instrumented",
+            Arm::Traced => "traced",
+        }
+    }
+}
+
+fn measure(arm: Arm) -> (f64, u32) {
+    match arm {
+        Arm::Stripped => rtp_obs::metrics::set_enabled(false),
+        Arm::Instrumented => rtp_obs::metrics::set_enabled(true),
+        Arm::Traced => {
+            rtp_obs::metrics::set_enabled(true);
+            rtp_obs::trace::attach_memory();
+        }
+    }
+    let dataset = bench_dataset();
+    let mut model = M2G4Rtp::new(ModelConfig::for_dataset(&dataset), 7);
+    let cfg =
+        TrainConfig { epochs: EPOCHS, patience: usize::MAX, threads: 1, ..TrainConfig::quick() };
+    let report = Trainer::new(cfg).fit(&mut model, &dataset);
+    let spans = rtp_obs::trace::detach().len();
+    rtp_obs::metrics::set_enabled(true);
+    if arm == Arm::Traced {
+        assert!(spans > 0, "traced arm must have recorded spans");
+    }
+    let loss_bits = report.history.last().expect("ran at least one epoch").train_loss.to_bits();
+    (report.train_loop_seconds, loss_bits)
+}
+
+fn main() {
+    let arms = [Arm::Stripped, Arm::Instrumented, Arm::Traced];
+    let mut best = [f64::MAX; 3];
+    let mut loss_bits = [0u32; 3];
+    // warm-up rep (page cache, allocator) then interleaved timed reps
+    for &arm in &arms {
+        measure(arm);
+    }
+    for _ in 0..REPS {
+        for (i, &arm) in arms.iter().enumerate() {
+            let (secs, bits) = measure(arm);
+            best[i] = best[i].min(secs);
+            loss_bits[i] = bits;
+        }
+    }
+
+    let identical = loss_bits.iter().all(|&b| b == loss_bits[0]);
+    assert!(identical, "telemetry must be write-only: loss bits diverged {loss_bits:?}");
+
+    let overhead = |i: usize| (best[i] - best[0]) / best[0] * 100.0;
+    for (i, &arm) in arms.iter().enumerate() {
+        println!(
+            "{:<12} min loop {:.3}s  ({:+.2}% vs stripped)",
+            arm.label(),
+            best[i],
+            overhead(i)
+        );
+    }
+    println!("loss bit-identical across arms: {identical}");
+
+    let entries: Vec<String> = arms
+        .iter()
+        .enumerate()
+        .map(|(i, &arm)| {
+            format!(
+                "    {{\"arm\": \"{}\", \"min_loop_seconds\": {:.4}, \"overhead_pct_vs_stripped\": {:.3}}}",
+                arm.label(),
+                best[i],
+                overhead(i)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"epochs\": {EPOCHS},\n  \"reps\": {REPS},\n  \"loss_bit_identical_across_arms\": {identical},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let path = out.join("obs_overhead.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {}", path.display());
+}

@@ -36,6 +36,8 @@ pub enum Command {
         threads: usize,
         /// Output model path.
         out: String,
+        /// Optional JSONL span-trace path (empty = tracing off).
+        log_json: String,
     },
     /// Predict one test sample and compare with its label.
     Predict {
@@ -88,7 +90,7 @@ rtp — M2G4RTP route & time prediction toolkit
 
 USAGE:
   rtp generate --scale <tiny|quick|full> [--seed N] --out <dataset.json>
-  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] --out <model.json>
+  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] [--log-json spans.jsonl] --out <model.json>
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
   rtp evaluate --model <model.json> --dataset <dataset.json>
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
@@ -119,6 +121,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut beam = 1usize;
     let mut port = 0u16;
     let mut max_requests = 0usize;
+    let mut log_json = String::new();
 
     while let Some(flag) = it.next() {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
@@ -144,6 +147,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 max_requests =
                     v(&mut it)?.parse().map_err(|_| ParseError("bad --max-requests".into()))?
             }
+            "--log-json" => log_json = v(&mut it)?,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -172,7 +176,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             {
                 return Err(ParseError(format!("unknown variant `{variant}`")));
             }
-            Command::Train { dataset, epochs, variant, seed, threads, out }
+            Command::Train { dataset, epochs, variant, seed, threads, out, log_json }
         }
         "predict" => {
             require("model", &model)?;
@@ -216,14 +220,34 @@ mod tests {
     fn parses_train_with_defaults() {
         let cli = parse(&["train", "--dataset", "d.json", "--out", "m.json"]).unwrap();
         match cli.command {
-            Command::Train { epochs, variant, seed, threads, .. } => {
+            Command::Train { epochs, variant, seed, threads, log_json, .. } => {
                 assert_eq!(epochs, 0);
                 assert_eq!(variant, "full");
                 assert_eq!(seed, 2023);
                 assert_eq!(threads, 0);
+                assert!(log_json.is_empty(), "tracing is off by default");
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_train_log_json() {
+        let cli = parse(&[
+            "train",
+            "--dataset",
+            "d.json",
+            "--out",
+            "m.json",
+            "--log-json",
+            "spans.jsonl",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Train { log_json, .. } => assert_eq!(log_json, "spans.jsonl"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["train", "--dataset", "d", "--out", "m", "--log-json"]).is_err());
     }
 
     #[test]

@@ -39,8 +39,11 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             )?;
             Ok(0)
         }
-        Command::Train { dataset, epochs, variant, seed, threads, out: path } => {
+        Command::Train { dataset, epochs, variant, seed, threads, out: path, log_json } => {
             let dataset = load_dataset(&dataset)?;
+            if !log_json.is_empty() {
+                rtp_obs::trace::attach_file(&log_json)?;
+            }
             let variant = match variant.as_str() {
                 "full" => Variant::Full,
                 "two-step" => Variant::TwoStep,
@@ -62,6 +65,10 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 model.num_parameters()
             )?;
             let report = Trainer::new(train_cfg).fit(&mut model, &dataset);
+            if !log_json.is_empty() {
+                rtp_obs::trace::detach();
+                writeln!(out, "wrote span trace to {log_json}")?;
+            }
             writeln!(
                 out,
                 "trained {} epochs in {:.1}s — best val KRC {:.3}, MAE {:.1} min",

@@ -7,14 +7,38 @@
 //! forward pass records no gradients or op payloads, and after the
 //! first request every tensor buffer comes from the tape's free-list
 //! pool, so steady-state serving is allocation-free in the hot loop.
+//!
+//! # Telemetry
+//!
+//! Each server owns a private [`rtp_obs::Registry`] (so concurrent
+//! servers in one process do not bleed into each other) recording:
+//!
+//! * `serve.requests` / `serve.errors` / `serve.stats` — counters;
+//! * `serve.latency_us` — full-handle latency histogram. The timer
+//!   starts before the request line is parsed and stops after the
+//!   response body is serialized, and the **same** measurement becomes
+//!   the response's `latency_ms` field, so the field and the histogram
+//!   can never disagree;
+//! * `serve.route_len` — orders-per-request histogram;
+//! * `tensor.pool.hits` / `.misses` / `.hit_rate` — the inference
+//!   tape's buffer-pool stats, refreshed after every prediction.
+//!
+//! An in-band `{"cmd":"stats"}` request line returns the registry
+//! snapshot (merged with the process-global registry, which carries
+//! the matmul-kernel counters) as one JSON line; on shutdown the
+//! server prints served/error counts and p50/p95/p99 latency.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
 
 use m2g4rtp::M2G4Rtp;
 use rtp_eval::service::RtpService;
+use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 use rtp_sim::{Dataset, RtpQuery};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One served prediction, mirroring the two application-layer products
 /// (Intelligent Order Sorting and Minute-Level ETA).
@@ -26,8 +50,20 @@ pub struct ServeResponse {
     pub aoi_sequence: Vec<usize>,
     /// Per-order ETA in minutes (aligned with the query's order index).
     pub eta_minutes: Vec<f32>,
-    /// Server-side handling latency, ms.
+    /// Server-side handling latency (parse → predict → serialize), ms.
+    /// Identical to the sample recorded in the `serve.latency_us`
+    /// histogram for this request.
     pub latency_ms: f64,
+}
+
+/// The serialized part of a response that the latency timer must cover;
+/// `latency_ms` is spliced in afterwards (same field set as
+/// [`ServeResponse`]).
+#[derive(Debug, Serialize)]
+struct ServeBody {
+    sorted_orders: Vec<usize>,
+    aoi_sequence: Vec<usize>,
+    eta_minutes: Vec<f32>,
 }
 
 /// An error reply for malformed requests.
@@ -37,9 +73,115 @@ pub struct ServeError {
     pub error: String,
 }
 
+/// An in-band control request (`{"cmd":"stats"}`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ControlCmd {
+    cmd: String,
+}
+
+/// Flattened percentile view of one histogram in a [`StatsReply`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramStats {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of raw values.
+    pub sum: u64,
+    /// Largest raw value.
+    pub max: u64,
+    /// Mean raw value.
+    pub mean: f64,
+    /// Quantized-exact percentiles (bucket floors, ≤1/16 resolution).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramStats {
+    fn from_snapshot(h: &HistogramSnapshot) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+        }
+    }
+}
+
+/// The reply to `{"cmd":"stats"}`: a registry snapshot in NDJSON-
+/// friendly form (one line, deserializable with the same vendored
+/// serde the rest of the protocol uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name, flattened to percentiles.
+    pub histograms: BTreeMap<String, HistogramStats>,
+}
+
+impl StatsReply {
+    /// Flattens a merged registry snapshot.
+    pub fn from_snapshot(s: &Snapshot) -> Self {
+        Self {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramStats::from_snapshot(h)))
+                .collect(),
+        }
+    }
+}
+
+/// The per-server metric handles (all on the server's own registry).
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    stats: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    route_len: Arc<Histogram>,
+    pool_hits: Arc<Gauge>,
+    pool_misses: Arc<Gauge>,
+    pool_hit_rate: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("serve.requests"),
+            errors: registry.counter("serve.errors"),
+            stats: registry.counter("serve.stats"),
+            latency_us: registry.histogram("serve.latency_us"),
+            route_len: registry.histogram("serve.route_len"),
+            pool_hits: registry.gauge("tensor.pool.hits"),
+            pool_misses: registry.gauge("tensor.pool.misses"),
+            pool_hit_rate: registry.gauge("tensor.pool.hit_rate"),
+        }
+    }
+
+    fn refresh_pool(&self, service: &RtpService) {
+        let (hits, misses) = service.pool_stats();
+        self.pool_hits.set(hits as f64);
+        self.pool_misses.set(misses as f64);
+        let total = hits + misses;
+        self.pool_hit_rate.set(if total == 0 { 0.0 } else { hits as f64 / total as f64 });
+    }
+}
+
 /// Binds a listener, prints `listening on <addr>` to `out`, and serves
 /// until `max_requests` requests have been answered (0 = forever).
-/// Each connection may pipeline many request lines.
+/// Each connection may pipeline many request lines. On exit prints a
+/// telemetry summary (request/error counts, latency percentiles).
 pub fn serve(
     model: M2G4Rtp,
     dataset: Dataset,
@@ -51,16 +193,43 @@ pub fn serve(
     writeln!(out, "listening on {}", listener.local_addr()?)?;
     out.flush()?;
     let service = RtpService::new(model);
+    let registry = Registry::new();
+    let metrics = ServeMetrics::new(&registry);
     let mut served = 0usize;
     for stream in listener.incoming() {
         let stream = stream?;
-        served +=
-            handle_connection(&service, &dataset, stream, max_requests.saturating_sub(served))?;
+        served += handle_connection(
+            &service,
+            &dataset,
+            stream,
+            max_requests.saturating_sub(served),
+            &metrics,
+            &registry,
+        )?;
         if max_requests != 0 && served >= max_requests {
             break;
         }
     }
-    writeln!(out, "served {served} request(s)")?;
+    let snap = registry.snapshot();
+    let lat = snap.histograms.get("serve.latency_us");
+    let ms = |v: u64| v as f64 / 1000.0;
+    writeln!(
+        out,
+        "served {served} request(s): {} ok, {} error(s), {} stats",
+        metrics.requests.get(),
+        metrics.errors.get(),
+        metrics.stats.get()
+    )?;
+    if let Some(lat) = lat.filter(|l| l.count() > 0) {
+        writeln!(
+            out,
+            "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            ms(lat.percentile(0.50)),
+            ms(lat.percentile(0.95)),
+            ms(lat.percentile(0.99)),
+            ms(lat.max())
+        )?;
+    }
     Ok(0)
 }
 
@@ -70,6 +239,8 @@ fn handle_connection(
     dataset: &Dataset,
     stream: TcpStream,
     budget: usize,
+    metrics: &ServeMetrics,
+    registry: &Registry,
 ) -> std::io::Result<usize> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
@@ -79,30 +250,7 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match serde_json::from_str::<RtpQuery>(&line) {
-            Err(e) => serde_json::to_string(&ServeError { error: format!("bad request: {e}") })
-                .expect("serialise error"),
-            Ok(query) if query.orders.is_empty() => {
-                serde_json::to_string(&ServeError { error: "bad request: empty order set".into() })
-                    .expect("serialise error")
-            }
-            Ok(query) => {
-                let courier =
-                    dataset.couriers.get(query.courier_id).unwrap_or(&dataset.couriers[0]);
-                let resp = service.handle(&dataset.city, courier, &query);
-                let eta_minutes = {
-                    // service returns ETAs per order index already
-                    resp.etas.iter().map(|e| e.eta_minutes).collect()
-                };
-                serde_json::to_string(&ServeResponse {
-                    sorted_orders: resp.sorted_orders,
-                    aoi_sequence: resp.aoi_sequence,
-                    eta_minutes,
-                    latency_ms: resp.latency_ms,
-                })
-                .expect("serialise response")
-            }
-        };
+        let reply = handle_line(service, dataset, &line, metrics, registry);
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -112,4 +260,66 @@ fn handle_connection(
         }
     }
     Ok(served)
+}
+
+/// Produces the reply line for one request line, recording telemetry.
+fn handle_line(
+    service: &RtpService,
+    dataset: &Dataset,
+    line: &str,
+    metrics: &ServeMetrics,
+    registry: &Registry,
+) -> String {
+    let t0 = Instant::now();
+    // Control plane: `{"cmd":"stats"}` (an RtpQuery has no `cmd` key).
+    if let Ok(ctl) = serde_json::from_str::<ControlCmd>(line) {
+        return if ctl.cmd == "stats" {
+            metrics.stats.inc();
+            metrics.refresh_pool(service);
+            let mut snap = registry.snapshot();
+            // The global registry carries process-wide metrics (matmul
+            // kernel counters, training gauges); merging demonstrates
+            // snapshot associativity in anger.
+            snap.merge(&rtp_obs::metrics::global().snapshot());
+            serde_json::to_string(&StatsReply::from_snapshot(&snap)).expect("serialise stats")
+        } else {
+            metrics.errors.inc();
+            serde_json::to_string(&ServeError { error: format!("unknown cmd `{}`", ctl.cmd) })
+                .expect("serialise error")
+        };
+    }
+    match serde_json::from_str::<RtpQuery>(line) {
+        Err(e) => {
+            metrics.errors.inc();
+            serde_json::to_string(&ServeError { error: format!("bad request: {e}") })
+                .expect("serialise error")
+        }
+        Ok(query) if query.orders.is_empty() => {
+            metrics.errors.inc();
+            serde_json::to_string(&ServeError { error: "bad request: empty order set".into() })
+                .expect("serialise error")
+        }
+        Ok(query) => {
+            let courier = dataset.couriers.get(query.courier_id).unwrap_or(&dataset.couriers[0]);
+            let resp = service.handle(&dataset.city, courier, &query);
+            let body = serde_json::to_string(&ServeBody {
+                sorted_orders: resp.sorted_orders,
+                aoi_sequence: resp.aoi_sequence,
+                eta_minutes: resp.etas.iter().map(|e| e.eta_minutes).collect(),
+            })
+            .expect("serialise response");
+            // The full handle — parse, predict, serialize — measured
+            // once: the histogram sample and the latency_ms field are
+            // the same number by construction.
+            let latency_us = (t0.elapsed().as_micros() as u64).max(1);
+            metrics.latency_us.record(latency_us);
+            metrics.route_len.record(query.orders.len() as u64);
+            metrics.requests.inc();
+            metrics.refresh_pool(service);
+            let latency_ms = latency_us as f64 / 1000.0;
+            // Splice latency into the serialized body ({"a":.. ->
+            // {"latency_ms":X,"a":..): field order is free in JSON.
+            format!("{{\"latency_ms\":{latency_ms},{}", &body[1..])
+        }
+    }
 }

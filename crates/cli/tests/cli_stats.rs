@@ -1,0 +1,113 @@
+//! End-to-end test of the in-band telemetry request: after serving
+//! real queries, `{"cmd":"stats"}` must return a parseable registry
+//! snapshot whose counters and latency histogram reflect exactly the
+//! traffic the server handled.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_cli::serve::{serve, ServeResponse, StatsReply};
+use rtp_sim::{DatasetBuilder, DatasetConfig};
+
+#[test]
+fn stats_request_reports_latency_percentiles_errors_and_pool_hit_rate() {
+    let dataset = DatasetBuilder::new(DatasetConfig::tiny(171)).build();
+    let mut cfg = ModelConfig::for_dataset(&dataset);
+    cfg.d_loc = 16;
+    cfg.d_aoi = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    let mut model = M2G4Rtp::new(cfg, 7);
+    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<String>();
+    struct AddrSink(std::sync::mpsc::Sender<String>, std::sync::mpsc::Sender<String>, Vec<u8>);
+    impl Write for AddrSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.2.extend_from_slice(buf);
+            while let Some(pos) = self.2.iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.2[..pos]).to_string();
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    let _ = self.0.send(addr.to_string());
+                } else {
+                    let _ = self.1.send(line);
+                }
+                self.2.drain(..=pos);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let dataset2 = dataset.clone();
+    let server = std::thread::spawn(move || {
+        let mut sink = AddrSink(addr_tx, out_tx, Vec::new());
+        // 2 queries + 1 bad line + 1 stats request = 4 replies
+        serve(model, dataset2, 0, 4, &mut sink).expect("server runs");
+    });
+
+    let addr = addr_rx.recv_timeout(std::time::Duration::from_secs(30)).expect("server address");
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+
+    for k in 0..2 {
+        let q = &dataset.test[k].query;
+        let line = serde_json::to_string(q).expect("serialise query");
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let resp: ServeResponse = serde_json::from_str(&reply).expect("valid response JSON");
+        // latency field is the histogram sample (µs-quantised), so it
+        // must be strictly positive and finite
+        assert!(resp.latency_ms > 0.0 && resp.latency_ms.is_finite());
+    }
+
+    stream.write_all(b"not json at all\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("error"), "{reply}");
+
+    stream.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let stats: StatsReply = serde_json::from_str(&reply).expect("stats reply parses");
+
+    // exact traffic accounting
+    assert_eq!(stats.counters.get("serve.requests"), Some(&2));
+    assert_eq!(stats.counters.get("serve.errors"), Some(&1));
+    assert_eq!(stats.counters.get("serve.stats"), Some(&1));
+
+    let lat = stats.histograms.get("serve.latency_us").expect("latency histogram present");
+    assert_eq!(lat.count, 2);
+    assert!(lat.p50 >= 1 && lat.p50 <= lat.p99 && lat.p99 <= lat.max);
+
+    let route_len = stats.histograms.get("serve.route_len").expect("route_len histogram");
+    assert_eq!(route_len.count, 2);
+    assert!(route_len.max as usize <= dataset.test[0].query.orders.len().max(64));
+
+    // pooled inference tape: the second request reuses the first's
+    // buffers, so the hit rate is strictly positive
+    let hit_rate = stats.gauges.get("tensor.pool.hit_rate").expect("pool hit rate gauge");
+    assert!(*hit_rate > 0.0, "expected pool reuse, hit rate {hit_rate}");
+
+    // the matmul kernel counters ride in from the global registry
+    let fwd = stats.counters.get("tensor.matmul.fwd").copied().unwrap_or(0);
+    assert!(fwd > 0, "matmul counter should have counted training + serving work");
+
+    server.join().expect("server thread exits cleanly");
+
+    // shutdown summary: served/ok/error counts and latency percentiles
+    let mut summary = String::new();
+    while let Ok(line) = out_rx.try_recv() {
+        summary.push_str(&line);
+        summary.push('\n');
+    }
+    assert!(summary.contains("served 4 request(s): 2 ok, 1 error(s), 1 stats"), "{summary}");
+    assert!(summary.contains("latency p50"), "{summary}");
+    assert!(summary.contains("p99"), "{summary}");
+}

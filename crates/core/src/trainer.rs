@@ -139,6 +139,10 @@ impl Trainer {
     /// (everything else frozen) — the paper's "assign an optimizer to
     /// the parameters of SortLSTM separately".
     pub fn fit(&self, model: &mut M2G4Rtp, dataset: &Dataset) -> TrainReport {
+        let _fit_span = rtp_obs::span!("train.fit");
+        let obs = rtp_obs::metrics::global();
+        let (g_loss, g_val_krc, g_val_mae) =
+            (obs.gauge("train.loss"), obs.gauge("train.val_krc"), obs.gauge("train.val_mae"));
         let start = std::time::Instant::now();
         let builder = GraphBuilder::new(GraphConfig::default());
         let scaler = FeatureScaler::fit(dataset, &builder);
@@ -186,9 +190,21 @@ impl Trainer {
         let workers = resolve_threads(self.config.threads).min(self.config.batch_size.max(1));
         let mut worker_tapes: Vec<Tape> = (0..workers.max(1)).map(|_| Tape::new()).collect();
         for epoch in 0..self.config.epochs {
+            let _epoch_span = rtp_obs::span!("train.epoch", epoch);
             indices.shuffle(&mut rng);
             let phase_b = two_step && epoch >= phase_a_epochs;
             let warming_up = !two_step && epoch < warmup_epochs;
+            // One span per epoch-phase: which parameter groups this
+            // epoch's gradient steps actually move.
+            let phase_span = rtp_obs::trace::span(if warming_up {
+                "train.phase.route_warmup"
+            } else if !two_step {
+                "train.phase.joint"
+            } else if phase_b {
+                "train.phase.time"
+            } else {
+                "train.phase.route"
+            });
             let mut loss_sum = 0.0f32;
             let loop_start = std::time::Instant::now();
             for batch in indices.chunks(self.config.batch_size) {
@@ -242,9 +258,16 @@ impl Trainer {
                 opt.step(&mut model.store);
             }
             train_loop_seconds += loop_start.elapsed().as_secs_f64();
+            drop(phase_span);
             let train_loss = loss_sum / train_graphs.len().max(1) as f32;
 
-            let (val_krc, val_mae) = validate(model, &val_graphs, &dataset.val);
+            let (val_krc, val_mae) = {
+                let _val_span = rtp_obs::span!("train.validate");
+                validate(model, &val_graphs, &dataset.val)
+            };
+            g_loss.set(train_loss as f64);
+            g_val_krc.set(val_krc);
+            g_val_mae.set(val_mae);
             history.push(EpochStats { epoch, train_loss, val_krc, val_mae });
             if self.config.verbose {
                 eprintln!(

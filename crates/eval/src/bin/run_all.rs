@@ -8,49 +8,79 @@ fn main() {
     let scale = scale_from_args();
     let config = ExperimentConfig::for_scale(scale, 2023);
 
+    // Per-stage span tracing: the memory sink collects every span the
+    // harness (and the instrumented trainers below it) opens, and the
+    // closed events become `results/run_all_timings.json`.
+    rtp_obs::trace::attach_memory();
+
     // Table I (static) and Fig. 4 (dataset only)
-    let t1 = comparison_matrix();
+    let t1 = {
+        let _s = rtp_obs::span!("run_all.table1");
+        comparison_matrix()
+    };
     println!("{t1}");
     write_artifact("table1.txt", &t1);
 
-    let dataset_for_fig4 = DatasetBuilder::new(config.dataset.clone()).build();
-    let (f4, dist) = fig4_distribution(&dataset_for_fig4);
-    println!("{f4}");
-    write_artifact("fig4.txt", &f4);
-    write_artifact("fig4.json", &serde_json::to_string_pretty(&dist).unwrap());
-    drop(dataset_for_fig4);
+    {
+        let _s = rtp_obs::span!("run_all.fig4");
+        let dataset_for_fig4 = DatasetBuilder::new(config.dataset.clone()).build();
+        let (f4, dist) = fig4_distribution(&dataset_for_fig4);
+        println!("{f4}");
+        write_artifact("fig4.txt", &f4);
+        write_artifact("fig4.json", &serde_json::to_string_pretty(&dist).unwrap());
+    }
 
     // one zoo training shared by Tables III/IV/V and Fig. 6
-    let (dataset, zoo) = train_zoo(&config);
-    let outcome = evaluate_zoo(&dataset, &zoo);
+    let (dataset, zoo) = {
+        let _s = rtp_obs::span!("run_all.train_zoo");
+        train_zoo(&config)
+    };
+    let outcome = {
+        let _s = rtp_obs::span!("run_all.evaluate_zoo");
+        evaluate_zoo(&dataset, &zoo)
+    };
 
-    let (t3, rows3) = route_table(&outcome);
-    println!("{t3}");
-    write_artifact("table3.txt", &t3);
-    write_artifact("table3.json", &serde_json::to_string_pretty(&rows3).unwrap());
+    {
+        let _s = rtp_obs::span!("run_all.tables");
+        let (t3, rows3) = route_table(&outcome);
+        println!("{t3}");
+        write_artifact("table3.txt", &t3);
+        write_artifact("table3.json", &serde_json::to_string_pretty(&rows3).unwrap());
 
-    let (t4, rows4) = time_table(&outcome);
-    println!("{t4}");
-    write_artifact("table4.txt", &t4);
-    write_artifact("table4.json", &serde_json::to_string_pretty(&rows4).unwrap());
+        let (t4, rows4) = time_table(&outcome);
+        println!("{t4}");
+        write_artifact("table4.txt", &t4);
+        write_artifact("table4.json", &serde_json::to_string_pretty(&rows4).unwrap());
 
-    let (t5, rows5) = scalability_table(&outcome, &zoo);
-    println!("{t5}");
-    write_artifact("table5.txt", &t5);
-    write_artifact("table5.json", &serde_json::to_string_pretty(&rows5).unwrap());
+        let (t5, rows5) = scalability_table(&outcome, &zoo);
+        println!("{t5}");
+        write_artifact("table5.txt", &t5);
+        write_artifact("table5.json", &serde_json::to_string_pretty(&rows5).unwrap());
+    }
 
-    let cs = case_study(&dataset, &zoo);
-    println!("{}", cs.text);
-    write_artifact("fig6.txt", &cs.text);
-    write_artifact("fig6_case1.svg", &cs.case1_svg);
-    write_artifact("fig6_case2.svg", &cs.case2_svg);
-    write_artifact("fig6.json", &serde_json::to_string_pretty(&cs).unwrap());
+    {
+        let _s = rtp_obs::span!("run_all.fig6");
+        let cs = case_study(&dataset, &zoo);
+        println!("{}", cs.text);
+        write_artifact("fig6.txt", &cs.text);
+        write_artifact("fig6_case1.svg", &cs.case1_svg);
+        write_artifact("fig6_case2.svg", &cs.case2_svg);
+        write_artifact("fig6.json", &serde_json::to_string_pretty(&cs).unwrap());
+    }
 
     // Fig. 5 trains its own ablation variants
-    let (f5, rows5f) = ablation_study(&config, &dataset);
-    println!("{f5}");
-    write_artifact("fig5.txt", &f5);
-    write_artifact("fig5.json", &serde_json::to_string_pretty(&rows5f).unwrap());
+    {
+        let _s = rtp_obs::span!("run_all.fig5_ablation");
+        let (f5, rows5f) = ablation_study(&config, &dataset);
+        println!("{f5}");
+        write_artifact("fig5.txt", &f5);
+        write_artifact("fig5.json", &serde_json::to_string_pretty(&rows5f).unwrap());
+    }
+
+    let events = rtp_obs::trace::detach();
+    let body: Vec<String> = events.iter().map(|e| format!("  {}", e.to_json_line())).collect();
+    write_artifact("run_all_timings.json", &format!("[\n{}\n]\n", body.join(",\n")));
+    eprintln!("stage timings ({} span(s)) -> results/run_all_timings.json", events.len());
 
     let secs: Vec<String> =
         zoo.train_seconds.iter().map(|(n, s)| format!("  {n}: {s:.1}s")).collect();

@@ -59,6 +59,13 @@ impl RtpService {
         Self { model, tape: Mutex::new(Tape::inference()) }
     }
 
+    /// Buffer-pool statistics `(hits, misses)` of the pooled inference
+    /// tape — the serving layer exports these as registry gauges so the
+    /// `stats` request can report the steady-state hit rate.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.tape.lock().expect("inference tape poisoned").pool_stats()
+    }
+
     /// Handles one RTP request end to end.
     pub fn handle(&self, city: &City, courier: &Courier, query: &RtpQuery) -> ServiceResponse {
         let t0 = std::time::Instant::now();

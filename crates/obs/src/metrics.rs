@@ -1,0 +1,430 @@
+//! The metrics registry: atomic counters, gauges and fixed-bucket log2
+//! histograms with mergeable snapshots.
+//!
+//! # Hot-path cost model
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed
+//! out by a [`Registry`]; the registry's mutex is held only during
+//! registration and snapshotting (cold paths). Every update is a
+//! handful of `Relaxed` atomic ops — there is no lock, no allocation
+//! and no syscall on the hot path. The global kill switch
+//! ([`set_enabled`]) turns every update into a single relaxed load, the
+//! "stripped" arm of the `obs_overhead` bench.
+//!
+//! # Histogram layout
+//!
+//! Values are `u64`s bucketed HdrHistogram-style: the first 16 buckets
+//! hold 0..=15 exactly; above that each power-of-two decade splits into
+//! 16 linear sub-buckets, so the bucket floor underestimates a raw
+//! value by less than 1/16 of its magnitude. [`quantize`] maps a value
+//! to its bucket floor; percentile extraction returns exactly
+//! `quantize(sorted_raw_values[rank])` — an exact, testable contract
+//! (see the proptest oracle in `tests/registry.rs`) rather than an
+//! "approximately right" one.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Exact buckets below `2^SUB_BITS`, and linear sub-buckets per decade
+/// above.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 exact + 16 per decade for majors 4..=63.
+pub const NUM_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Global kill switch. `false` reduces every counter/gauge/histogram
+/// update to one relaxed load (used by the `obs_overhead` bench's
+/// "stripped" arm). Defaults to `true`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Bucket index of a raw value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let major = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+        let sub = ((v >> (major - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        SUBS + (major - SUB_BITS) as usize * SUBS + sub
+    }
+}
+
+/// Smallest raw value that lands in bucket `i` (the bucket floor).
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i < SUBS {
+        i as u64
+    } else {
+        let major = SUB_BITS + ((i - SUBS) / SUBS) as u32;
+        let sub = ((i - SUBS) % SUBS) as u64;
+        (SUBS as u64 + sub) << (major - SUB_BITS)
+    }
+}
+
+/// The histogram's value resolution: `quantize(v)` is the floor of the
+/// bucket containing `v` (`quantize(v) <= v`, relative error < 1/16).
+#[inline]
+pub fn quantize(v: u64) -> u64 {
+    bucket_floor(bucket_index(v))
+}
+
+// -------------------------------------------------------------------
+// primitives
+// -------------------------------------------------------------------
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (f64, stored as bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples (see the module docs
+/// for the bucket layout). All updates are relaxed atomics; concurrent
+/// `record`s are never lost.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { counts: vec![0; NUM_BUCKETS], sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded raw values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded raw value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded raw values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), quantized to the bucket floor.
+    ///
+    /// Contract: equals `quantize(sorted_raw[ceil(q*n) - 1])` exactly —
+    /// quantization is monotone, so bucket-rank order matches raw-rank
+    /// order. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let k = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= k {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(NUM_BUCKETS - 1)
+    }
+
+    /// Element-wise accumulation of `other` into `self`. Associative
+    /// and commutative: shard-local histograms can be merged in any
+    /// grouping.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+// -------------------------------------------------------------------
+// registry
+// -------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of metrics. Registration and snapshotting lock a
+/// mutex; the returned `Arc` handles update lock-free. The process-wide
+/// instance is [`global`]; subsystems that need isolation (e.g. one
+/// registry per server) create their own and merge snapshots.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+}
+
+/// The process-wide registry (used by the [`crate::counter!`] family of
+/// macros).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// An owned copy of a registry's state at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Accumulates `other` into `self`: counters and histograms add
+    /// (associative + commutative), gauges are right-biased (the
+    /// argument wins — associative, mirroring last-write-wins).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The kill switch is process-global, so tests that record metrics
+    /// and the test that flips the switch must not interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_index_and_floor_are_consistent() {
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX / 3, 1 << 40, (1 << 40) + 12345]) {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor {floor} must not exceed {v}");
+            // floor is in the same bucket, and quantize is idempotent
+            assert_eq!(bucket_index(floor), i, "v={v}");
+            assert_eq!(quantize(quantize(v)), quantize(v));
+        }
+        // exact below 16
+        for v in 0u64..16 {
+            assert_eq!(quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let mut prev = 0u64;
+        for v in 0u64..100_000 {
+            let q = quantize(v);
+            assert!(q >= prev, "quantize must be monotone at {v}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let _guard = serial();
+        let c = Counter::default();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::default();
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn kill_switch_disables_updates() {
+        let _guard = serial();
+        let c = Counter::default();
+        let h = Histogram::default();
+        set_enabled(false);
+        c.inc();
+        h.record(7);
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_small_exact_values() {
+        let _guard = serial();
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.sum(), 55);
+        assert_eq!(s.max(), 10);
+        assert_eq!(s.percentile(0.5), 5);
+        assert_eq!(s.percentile(0.9), 9);
+        assert_eq!(s.percentile(1.0), 10);
+        assert_eq!(s.percentile(0.001), 1);
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle_per_name() {
+        let _guard = serial();
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("x"), Some(&1));
+    }
+}

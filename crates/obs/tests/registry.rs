@@ -1,0 +1,149 @@
+//! Registry contract tests: exact concurrent counting, the
+//! quantized-exact percentile contract against a sorted-vector oracle,
+//! and snapshot-merge associativity.
+
+use proptest::prelude::*;
+use rtp_obs::metrics::{quantize, Histogram, Registry, Snapshot};
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let registry = Registry::new();
+    let counter = registry.counter("contended");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(registry.snapshot().counters["contended"], THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_records_are_never_lost() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let h = Histogram::default();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record((t * PER_THREAD + i) as u64);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count(), (THREADS * PER_THREAD) as u64);
+    let n = (THREADS * PER_THREAD) as u64;
+    assert_eq!(s.sum(), n * (n - 1) / 2);
+    assert_eq!(s.max(), n - 1);
+}
+
+/// Values spanning the exact range, several log2 decades and huge
+/// magnitudes, so percentiles cross bucket-resolution boundaries.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![0u64..16, 16u64..1024, 1024u64..1_000_000, 1_000_000_000u64..(1u64 << 40)],
+        1..300,
+    )
+}
+
+/// The oracle: `percentile(q)` must equal the quantized k-th smallest
+/// raw value, k = ceil(q*n) — quantization is monotone, so sorting raw
+/// values and quantizing commutes with ranking.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let k = ((q * n as f64).ceil() as u64).clamp(1, n);
+    quantize(sorted[(k - 1) as usize])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentiles_match_the_sorted_vector_oracle(values in samples()) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(snap.percentile(q), oracle(&sorted, q));
+        }
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+        ca in 0u64..1000,
+        cb in 0u64..1000,
+        cc in 0u64..1000,
+    ) {
+        let make = |values: &[u64], count: u64, gauge: f64| -> Snapshot {
+            let r = Registry::new();
+            let h = r.histogram("latency_us");
+            for &v in values {
+                h.record(v);
+            }
+            r.counter("requests").add(count);
+            r.gauge("freshness").set(gauge);
+            r.snapshot()
+        };
+        let (sa, sb, sc) = (make(&a, ca, 0.1), make(&b, cb, 0.2), make(&c, cc, 0.3));
+
+        // left grouping: (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // right grouping: a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.counters["requests"], ca + cb + cc);
+        // gauges are right-biased in either grouping
+        prop_assert_eq!(left.gauges["freshness"], 0.3);
+        // merged histogram count is the total
+        prop_assert_eq!(
+            left.histograms["latency_us"].count(),
+            (a.len() + b.len() + c.len()) as u64
+        );
+    }
+
+    #[test]
+    fn merged_histogram_percentiles_match_pooled_oracle(a in samples(), b in samples()) {
+        // Merging shard snapshots then extracting percentiles must be
+        // the same as recording everything into one histogram.
+        let record = |values: &[u64]| {
+            let h = Histogram::default();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let mut merged = record(&a);
+        merged.merge(&record(&b));
+        let mut pooled: Vec<u64> = a.clone();
+        pooled.extend_from_slice(&b);
+        pooled.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.percentile(q), oracle(&pooled, q));
+        }
+    }
+}

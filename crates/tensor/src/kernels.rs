@@ -65,6 +65,7 @@ pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usiz
     debug_assert_eq!(a.len(), r * k);
     debug_assert_eq!(b.len(), k * c);
     debug_assert_eq!(out.len(), r * c);
+    rtp_obs::counter!("tensor.matmul.fwd").inc();
     if r == 0 || c == 0 {
         return;
     }
@@ -190,6 +191,7 @@ pub fn matmul_grad_a(g: &[f32], b: &[f32], ga: &mut [f32], r: usize, k: usize, c
     debug_assert_eq!(g.len(), r * c);
     debug_assert_eq!(b.len(), k * c);
     debug_assert_eq!(ga.len(), r * k);
+    rtp_obs::counter!("tensor.matmul.grad_a").inc();
     for i in 0..r {
         let grow = &g[i * c..(i + 1) * c];
         let garow = &mut ga[i * k..(i + 1) * k];
@@ -256,6 +258,7 @@ pub fn matmul_grad_b(a: &[f32], g: &[f32], gb: &mut [f32], r: usize, k: usize, c
     debug_assert_eq!(a.len(), r * k);
     debug_assert_eq!(g.len(), r * c);
     debug_assert_eq!(gb.len(), k * c);
+    rtp_obs::counter!("tensor.matmul.grad_b").inc();
     const KB: usize = 8;
     let mut kk0 = 0;
     while kk0 < k {
