@@ -1,0 +1,166 @@
+//! Serve-layer throughput: requests/s of the NDJSON TCP server at 1
+//! worker vs all-core workers, with concurrent closed-loop clients.
+//!
+//! Each arm starts a real server on an ephemeral port, drives it with
+//! `CLIENTS` threads doing request/reply round trips, and reads
+//! p50/p99 handle latency from the in-band `{"cmd":"stats"}` snapshot
+//! (the same histogram the `latency_ms` response field feeds). Writes
+//! `results/serve_throughput.json`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::channel;
+use std::time::Instant;
+
+use m2g4rtp::M2G4Rtp;
+use rtp_bench::{bench_dataset, bench_model};
+use rtp_cli::serve::{serve, ServeOptions, StatsReply};
+use rtp_sim::Dataset;
+use rtp_tensor::parallel::resolve_threads;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 50;
+
+struct Row {
+    workers: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn measure(workers: usize, model: M2G4Rtp, dataset: &Dataset) -> Row {
+    let (addr_tx, addr_rx) = channel::<String>();
+    struct AddrSink(std::sync::mpsc::Sender<String>, Vec<u8>);
+    impl Write for AddrSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.1.extend_from_slice(buf);
+            while let Some(pos) = self.1.iter().position(|&b| b == b'\n') {
+                if let Some(addr) =
+                    String::from_utf8_lossy(&self.1[..pos]).strip_prefix("listening on ")
+                {
+                    let _ = self.0.send(addr.to_string());
+                }
+                self.1.drain(..=pos);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let ds = dataset.clone();
+    let opts = ServeOptions { workers, allow_shutdown: true, ..Default::default() };
+    let server = std::thread::spawn(move || {
+        let mut sink = AddrSink(addr_tx, Vec::new());
+        serve(model, ds, opts, &mut sink).expect("server runs");
+    });
+    let addr = addr_rx.recv().expect("server address");
+
+    let lines: Vec<String> = (0..16)
+        .map(|k| serde_json::to_string(&dataset.test[k % dataset.test.len()].query).unwrap())
+        .collect();
+
+    // warm every worker's tape pool before timing
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        for line in lines.iter().take(4) {
+            s.write_all(format!("{line}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            r.read_line(&mut reply).unwrap();
+        }
+    }
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let addr = &addr;
+            let lines = &lines;
+            scope.spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_nodelay(true).unwrap();
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                for k in 0..REQUESTS_PER_CLIENT {
+                    let line = &lines[(c * REQUESTS_PER_CLIENT + k) % lines.len()];
+                    s.write_all(format!("{line}\n").as_bytes()).unwrap();
+                    let mut reply = String::new();
+                    r.read_line(&mut reply).unwrap();
+                    assert!(!reply.contains("\"error\""), "bench request failed: {reply}");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    let mut r = BufReader::new(s.try_clone().unwrap());
+    s.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
+    let mut reply = String::new();
+    r.read_line(&mut reply).unwrap();
+    let stats: StatsReply = serde_json::from_str(&reply).expect("stats reply parses");
+    let lat = &stats.histograms["serve.latency_us"];
+    s.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    let mut ack = String::new();
+    r.read_line(&mut ack).unwrap();
+    server.join().expect("server exits");
+
+    let requests = CLIENTS * REQUESTS_PER_CLIENT;
+    Row {
+        workers,
+        requests,
+        requests_per_sec: requests as f64 / elapsed,
+        p50_us: lat.p50,
+        p99_us: lat.p99,
+    }
+}
+
+fn main() {
+    let cores = resolve_threads(0);
+    let dataset = bench_dataset();
+    // Measure 2 workers even on a 1-core box (recorded honestly via
+    // cores_available, as in training_throughput).
+    let mut settings = vec![1usize, 2, cores];
+    settings.sort_unstable();
+    settings.dedup();
+
+    let rows: Vec<Row> =
+        settings.iter().map(|&w| measure(w, bench_model(&dataset), &dataset)).collect();
+    let base = rows[0].requests_per_sec;
+    for r in &rows {
+        println!(
+            "workers {:>2}: {:>8.1} req/s  ({:.2}x vs 1 worker, p50 {:.3} ms, p99 {:.3} ms)",
+            r.workers,
+            r.requests_per_sec,
+            r.requests_per_sec / base,
+            r.p50_us as f64 / 1000.0,
+            r.p99_us as f64 / 1000.0
+        );
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"requests\": {}, \"requests_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \"p50_us\": {}, \"p99_us\": {}}}",
+                r.workers,
+                r.requests,
+                r.requests_per_sec,
+                r.requests_per_sec / base,
+                r.p50_us,
+                r.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"cores_available\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let path = out.join("serve_throughput.json");
+    std::fs::write(&path, json).expect("write results JSON");
+    println!("wrote {}", path.display());
+}

@@ -67,6 +67,12 @@ pub enum Command {
         port: u16,
         /// Maximum requests to serve before exiting (0 = forever).
         max_requests: usize,
+        /// Worker-pool size (0 = all cores).
+        workers: usize,
+        /// Reap connections idle longer than this, seconds (0 = never).
+        idle_timeout_secs: u64,
+        /// Honour in-band `{"cmd":"shutdown"}` requests.
+        allow_shutdown: bool,
     },
     /// Print usage.
     Help,
@@ -94,6 +100,7 @@ USAGE:
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
   rtp evaluate --model <model.json> --dataset <dataset.json>
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
+               [--workers N] [--idle-timeout-secs S] [--allow-shutdown]
   rtp help
 ";
 
@@ -121,6 +128,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut beam = 1usize;
     let mut port = 0u16;
     let mut max_requests = 0usize;
+    let mut workers = 0usize;
+    let mut idle_timeout_secs = 0u64;
+    let mut allow_shutdown = false;
     let mut log_json = String::new();
 
     while let Some(flag) = it.next() {
@@ -147,6 +157,14 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 max_requests =
                     v(&mut it)?.parse().map_err(|_| ParseError("bad --max-requests".into()))?
             }
+            "--workers" => {
+                workers = v(&mut it)?.parse().map_err(|_| ParseError("bad --workers".into()))?
+            }
+            "--idle-timeout-secs" => {
+                idle_timeout_secs =
+                    v(&mut it)?.parse().map_err(|_| ParseError("bad --idle-timeout-secs".into()))?
+            }
+            "--allow-shutdown" => allow_shutdown = true,
             "--log-json" => log_json = v(&mut it)?,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
@@ -194,7 +212,15 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
         "serve" => {
             require("model", &model)?;
             require("dataset", &dataset)?;
-            Command::Serve { model, dataset, port, max_requests }
+            Command::Serve {
+                model,
+                dataset,
+                port,
+                max_requests,
+                workers,
+                idle_timeout_secs,
+                allow_shutdown,
+            }
         }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(ParseError(format!("unknown subcommand `{other}`"))),
@@ -272,7 +298,23 @@ mod tests {
             "5",
         ])
         .unwrap();
-        assert!(matches!(cli.command, Command::Serve { port: 7878, max_requests: 5, .. }));
+        match cli.command {
+            Command::Serve {
+                port,
+                max_requests,
+                workers,
+                idle_timeout_secs,
+                allow_shutdown,
+                ..
+            } => {
+                assert_eq!(port, 7878);
+                assert_eq!(max_requests, 5);
+                assert_eq!(workers, 0, "default worker count is all cores");
+                assert_eq!(idle_timeout_secs, 0, "idle reaping off by default");
+                assert!(!allow_shutdown, "in-band shutdown off by default");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
         let cli = parse(&[
             "predict",
             "--model",
@@ -286,6 +328,30 @@ mod tests {
         ])
         .unwrap();
         assert!(matches!(cli.command, Command::Predict { sample: 3, beam: 4, .. }));
+    }
+
+    #[test]
+    fn parses_serve_pool_flags() {
+        let cli = parse(&[
+            "serve",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--workers",
+            "4",
+            "--idle-timeout-secs",
+            "30",
+            "--allow-shutdown",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Serve { workers: 4, idle_timeout_secs: 30, allow_shutdown: true, .. }
+        ));
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--workers", "x"]).is_err());
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--idle-timeout-secs", "-1"])
+            .is_err());
     }
 
     #[test]

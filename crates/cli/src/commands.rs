@@ -134,10 +134,26 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             }
             Ok(0)
         }
-        Command::Serve { model, dataset, port, max_requests } => {
+        Command::Serve {
+            model,
+            dataset,
+            port,
+            max_requests,
+            workers,
+            idle_timeout_secs,
+            allow_shutdown,
+        } => {
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
-            serve::serve(model, dataset, port, max_requests, out)
+            let opts = serve::ServeOptions {
+                port,
+                max_requests,
+                workers,
+                idle_timeout: (idle_timeout_secs > 0)
+                    .then(|| std::time::Duration::from_secs(idle_timeout_secs)),
+                allow_shutdown,
+            };
+            serve::serve(model, dataset, opts, out)
         }
     }
 }

@@ -3,17 +3,43 @@
 //! every request line is an [`rtp_sim::RtpQuery`], every response line
 //! a [`ServeResponse`].
 //!
-//! Inference runs through [`RtpService`]'s pooled no-grad tape: the
-//! forward pass records no gradients or op payloads, and after the
-//! first request every tensor buffer comes from the tape's free-list
-//! pool, so steady-state serving is allocation-free in the hot loop.
+//! # Concurrency model
+//!
+//! A fixed pool of worker threads (`--workers N`, `0` = all cores, the
+//! same std-thread scaffolding as `rtp_tensor::parallel`) accepts many
+//! simultaneous connections. The acceptor thread hands each connection
+//! to the pool over an mpsc channel; each worker owns its **own**
+//! [`RtpService`] — one pooled no-grad tape per worker — over one
+//! shared read-only `Arc<M2G4Rtp>`, so inference never contends on a
+//! global mutex and per-worker tape reuse cannot change numerics
+//! (cleared-tape reuse is bit-identical to a fresh tape).
+//!
+//! # Fault isolation & lifecycle
+//!
+//! * a per-connection I/O error (client reset, broken pipe) drops only
+//!   that connection and increments `serve.conn_errors`;
+//! * a panic inside request handling is caught (`catch_unwind` around
+//!   [`handle_line`]), answers a best-effort error line, drops only
+//!   that connection and increments `serve.panics`; the worker's tape
+//!   mutex recovers by swapping in a fresh tape;
+//! * a client idle longer than `--idle-timeout-secs` is reaped
+//!   (`serve.timeouts`), via a polling read timeout on the socket;
+//! * shutdown is graceful: when `--max-requests` is reached or an
+//!   in-band `{"cmd":"shutdown"}` arrives (only honoured with
+//!   `--allow-shutdown`), the acceptor stops, in-flight requests
+//!   complete, workers drain, and the telemetry summary is printed.
 //!
 //! # Telemetry
 //!
 //! Each server owns a private [`rtp_obs::Registry`] (so concurrent
 //! servers in one process do not bleed into each other) recording:
 //!
-//! * `serve.requests` / `serve.errors` / `serve.stats` — counters;
+//! * `serve.requests` / `serve.errors` / `serve.stats` — reply
+//!   counters (ok predictions, error replies, stats replies);
+//! * `serve.connections` / `serve.conn_errors` / `serve.panics` /
+//!   `serve.timeouts` — connection lifecycle counters;
+//! * `serve.active_connections` — gauge of connections being handled;
+//! * `serve.worker.<i>.requests` — replies written per worker;
 //! * `serve.latency_us` — full-handle latency histogram. The timer
 //!   starts before the request line is parsed and stops after the
 //!   response body is serialized, and the **same** measurement becomes
@@ -21,24 +47,36 @@
 //!   can never disagree;
 //! * `serve.route_len` — orders-per-request histogram;
 //! * `tensor.pool.hits` / `.misses` / `.hit_rate` — the inference
-//!   tape's buffer-pool stats, refreshed after every prediction.
+//!   tapes' buffer-pool stats summed across workers, refreshed after
+//!   every prediction.
 //!
 //! An in-band `{"cmd":"stats"}` request line returns the registry
 //! snapshot (merged with the process-global registry, which carries
 //! the matmul-kernel counters) as one JSON line; on shutdown the
-//! server prints served/error counts and p50/p95/p99 latency.
+//! server prints served/error/connection counts and p50/p95/p99
+//! latency.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::time::Instant;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use m2g4rtp::M2G4Rtp;
 use rtp_eval::service::RtpService;
 use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 use rtp_sim::{Dataset, RtpQuery};
+use rtp_tensor::parallel::resolve_threads;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag and the idle deadline. Partial lines survive across polls (the
+/// bytes stay in the `read_line` buffer).
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// One served prediction, mirroring the two application-layer products
 /// (Intelligent Order Sorting and Minute-Level ETA).
@@ -73,7 +111,7 @@ pub struct ServeError {
     pub error: String,
 }
 
-/// An in-band control request (`{"cmd":"stats"}`).
+/// An in-band control request (`{"cmd":"stats"}`, `{"cmd":"shutdown"}`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ControlCmd {
     cmd: String,
@@ -143,11 +181,33 @@ impl StatsReply {
     }
 }
 
+/// Server configuration (`rtp serve` flags).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// TCP port (0 = ephemeral).
+    pub port: u16,
+    /// Total replies to send before shutting down (0 = forever).
+    pub max_requests: usize,
+    /// Worker-pool size (0 = all cores).
+    pub workers: usize,
+    /// Reap a connection after this long without a complete request
+    /// line (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Honour in-band `{"cmd":"shutdown"}` (and the `{"cmd":"panic"}`
+    /// fault-injection hook).
+    pub allow_shutdown: bool,
+}
+
 /// The per-server metric handles (all on the server's own registry).
 struct ServeMetrics {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     stats: Arc<Counter>,
+    connections: Arc<Counter>,
+    conn_errors: Arc<Counter>,
+    panics: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    active_connections: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     route_len: Arc<Histogram>,
     pool_hits: Arc<Gauge>,
@@ -161,6 +221,11 @@ impl ServeMetrics {
             requests: registry.counter("serve.requests"),
             errors: registry.counter("serve.errors"),
             stats: registry.counter("serve.stats"),
+            connections: registry.counter("serve.connections"),
+            conn_errors: registry.counter("serve.conn_errors"),
+            panics: registry.counter("serve.panics"),
+            timeouts: registry.counter("serve.timeouts"),
+            active_connections: registry.gauge("serve.active_connections"),
             latency_us: registry.histogram("serve.latency_us"),
             route_len: registry.histogram("serve.route_len"),
             pool_hits: registry.gauge("tensor.pool.hits"),
@@ -168,59 +233,225 @@ impl ServeMetrics {
             pool_hit_rate: registry.gauge("tensor.pool.hit_rate"),
         }
     }
+}
 
-    fn refresh_pool(&self, service: &RtpService) {
+/// State shared by the acceptor and every worker.
+struct ServerShared {
+    registry: Registry,
+    metrics: ServeMetrics,
+    /// Replies written so far (claim-based: a worker reserves a slot
+    /// *before* answering, so exactly `max_requests` replies go out).
+    served: AtomicUsize,
+    /// Connections currently being handled (mirrored into the
+    /// `serve.active_connections` gauge).
+    active: AtomicI64,
+    shutdown: AtomicBool,
+    /// The listener's address, used to poke the blocking acceptor
+    /// awake when shutdown is triggered from a worker.
+    addr: SocketAddr,
+    max_requests: usize,
+    idle_timeout: Option<Duration>,
+    allow_shutdown: bool,
+    /// Tape buffer-pool totals summed across workers (each worker
+    /// contributes deltas of its own service's stats).
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+}
+
+impl ServerShared {
+    fn new(registry: Registry, addr: SocketAddr, opts: &ServeOptions) -> Self {
+        let metrics = ServeMetrics::new(&registry);
+        Self {
+            registry,
+            metrics,
+            served: AtomicUsize::new(0),
+            active: AtomicI64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr,
+            max_requests: opts.max_requests,
+            idle_timeout: opts.idle_timeout,
+            allow_shutdown: opts.allow_shutdown,
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag and wakes the acceptor with a no-op
+    /// connection so its blocking `accept` returns.
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Reserves one reply slot. Returns `false` when the request budget
+    /// is spent — the caller must close the connection unanswered. The
+    /// claimer of the final slot triggers shutdown after replying.
+    fn claim_reply(&self) -> bool {
+        if self.max_requests == 0 {
+            self.served.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        let n = self.served.fetch_add(1, Ordering::SeqCst) + 1;
+        if n > self.max_requests {
+            self.served.fetch_sub(1, Ordering::SeqCst);
+            self.trigger_shutdown();
+            return false;
+        }
+        true
+    }
+
+    /// Called after a reply is written: the final budgeted reply shuts
+    /// the server down.
+    fn after_reply(&self) {
+        if self.max_requests != 0 && self.served.load(Ordering::SeqCst) >= self.max_requests {
+            self.trigger_shutdown();
+        }
+    }
+
+    fn conn_started(&self) {
+        self.metrics.connections.inc();
+        let n = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.active_connections.set(n as f64);
+    }
+
+    fn conn_finished(&self) {
+        let n = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.metrics.active_connections.set(n as f64);
+    }
+
+    /// Folds one worker's tape-pool delta into the cross-worker totals
+    /// and refreshes the gauges. `last` is the worker's previous
+    /// reading; `saturating_sub` because tape poison-recovery resets a
+    /// worker's stats to zero.
+    fn refresh_pool(&self, service: &RtpService, last: &Cell<(u64, u64)>) {
         let (hits, misses) = service.pool_stats();
-        self.pool_hits.set(hits as f64);
-        self.pool_misses.set(misses as f64);
-        let total = hits + misses;
-        self.pool_hit_rate.set(if total == 0 { 0.0 } else { hits as f64 / total as f64 });
+        let (lh, lm) = last.get();
+        last.set((hits, misses));
+        let h = self.pool_hits.fetch_add(hits.saturating_sub(lh), Ordering::Relaxed)
+            + hits.saturating_sub(lh);
+        let m = self.pool_misses.fetch_add(misses.saturating_sub(lm), Ordering::Relaxed)
+            + misses.saturating_sub(lm);
+        self.metrics.pool_hits.set(h as f64);
+        self.metrics.pool_misses.set(m as f64);
+        let total = h + m;
+        self.metrics.pool_hit_rate.set(if total == 0 { 0.0 } else { h as f64 / total as f64 });
     }
 }
 
+/// One worker's view of the server: its private inference lane plus
+/// the shared state.
+struct WorkerCtx<'a> {
+    service: RtpService,
+    dataset: &'a Dataset,
+    shared: &'a ServerShared,
+    /// Replies written by this worker (`serve.worker.<i>.requests`).
+    replies: Arc<Counter>,
+    /// Last `(hits, misses)` reading of this worker's tape pool.
+    pool_last: Cell<(u64, u64)>,
+}
+
 /// Binds a listener, prints `listening on <addr>` to `out`, and serves
-/// until `max_requests` requests have been answered (0 = forever).
-/// Each connection may pipeline many request lines. On exit prints a
-/// telemetry summary (request/error counts, latency percentiles).
+/// with a fixed worker pool until the request budget is spent or an
+/// in-band shutdown arrives. Each connection may pipeline many request
+/// lines. On exit, drains in-flight connections and prints a telemetry
+/// summary (request/error/connection counts, latency percentiles).
 pub fn serve(
     model: M2G4Rtp,
     dataset: Dataset,
-    port: u16,
-    max_requests: usize,
+    opts: ServeOptions,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
-    let listener = TcpListener::bind(("127.0.0.1", port))?;
-    writeln!(out, "listening on {}", listener.local_addr()?)?;
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+    let addr = listener.local_addr()?;
+    let workers = resolve_threads(opts.workers).max(1);
+    writeln!(out, "listening on {addr}")?;
+    writeln!(out, "workers: {workers}")?;
     out.flush()?;
-    let service = RtpService::new(model);
-    let registry = Registry::new();
-    let metrics = ServeMetrics::new(&registry);
-    let mut served = 0usize;
-    for stream in listener.incoming() {
-        let stream = stream?;
-        served += handle_connection(
-            &service,
-            &dataset,
-            stream,
-            max_requests.saturating_sub(served),
-            &metrics,
-            &registry,
-        )?;
-        if max_requests != 0 && served >= max_requests {
-            break;
+
+    let model = Arc::new(model);
+    let shared = ServerShared::new(Registry::new(), addr, &opts);
+    let (tx, rx) = channel::<TcpStream>();
+    // std's Receiver is single-consumer; workers share it behind a
+    // mutex, each holding it only for one blocking `recv`.
+    let rx = Arc::new(Mutex::new(rx));
+
+    std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = &shared;
+            let dataset = &dataset;
+            let service = RtpService::shared(Arc::clone(&model));
+            scope.spawn(move || {
+                let ctx = WorkerCtx {
+                    service,
+                    dataset,
+                    shared,
+                    replies: shared.registry.counter(&format!("serve.worker.{worker_id}.requests")),
+                    pool_last: Cell::new((0, 0)),
+                };
+                loop {
+                    // Blocks until a connection arrives or the acceptor
+                    // drops the sender (shutdown + queue drained).
+                    let next = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(stream) = next else { break };
+                    shared.conn_started();
+                    let result = handle_connection(&ctx, stream);
+                    shared.conn_finished();
+                    if result.is_err() {
+                        shared.metrics.conn_errors.inc();
+                    }
+                }
+            });
         }
-    }
-    let snap = registry.snapshot();
-    let lat = snap.histograms.get("serve.latency_us");
-    let ms = |v: u64| v as f64 / 1000.0;
+
+        // Acceptor: dispatch until shutdown. The shutdown poke is
+        // itself a connection, consumed by the flag check.
+        for stream in listener.incoming() {
+            if shared.shutting_down() {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => shared.metrics.conn_errors.inc(),
+            }
+        }
+        // Closing the channel lets idle workers exit; busy workers
+        // finish their in-flight connections first (drain).
+        drop(tx);
+    });
+
+    let m = &shared.metrics;
+    let served = shared.served.load(Ordering::SeqCst);
     writeln!(
         out,
         "served {served} request(s): {} ok, {} error(s), {} stats",
-        metrics.requests.get(),
-        metrics.errors.get(),
-        metrics.stats.get()
+        m.requests.get(),
+        m.errors.get(),
+        m.stats.get()
     )?;
-    if let Some(lat) = lat.filter(|l| l.count() > 0) {
+    writeln!(
+        out,
+        "connections: {} handled, {} conn error(s), {} panic(s), {} timeout(s)",
+        m.connections.get(),
+        m.conn_errors.get(),
+        m.panics.get(),
+        m.timeouts.get()
+    )?;
+    let snap = shared.registry.snapshot();
+    let ms = |v: u64| v as f64 / 1000.0;
+    if let Some(lat) = snap.histograms.get("serve.latency_us").filter(|l| l.count() > 0) {
         writeln!(
             out,
             "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
@@ -233,75 +464,176 @@ pub fn serve(
     Ok(0)
 }
 
-/// Handles one connection; returns the number of requests answered.
-fn handle_connection(
-    service: &RtpService,
-    dataset: &Dataset,
-    stream: TcpStream,
-    budget: usize,
-    metrics: &ServeMetrics,
-    registry: &Registry,
-) -> std::io::Result<usize> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    let mut served = 0usize;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = handle_line(service, dataset, &line, metrics, registry);
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        served += 1;
-        if budget != 0 && served >= budget {
-            break;
-        }
-    }
-    Ok(served)
+/// Reads one request line, polling so the shutdown flag and the idle
+/// deadline are honoured even while blocked. Partial lines accumulate
+/// in `buf` across polls (and across an actual mid-line stall).
+enum LineRead {
+    /// A complete (or final unterminated) line is in the buffer.
+    Line,
+    /// Clean end of stream, idle reap, or shutdown — close quietly.
+    Close,
 }
 
-/// Produces the reply line for one request line, recording telemetry.
-fn handle_line(
-    service: &RtpService,
-    dataset: &Dataset,
-    line: &str,
-    metrics: &ServeMetrics,
-    registry: &Registry,
-) -> String {
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shared: &ServerShared,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut last_progress = Instant::now();
+    loop {
+        let len_before = buf.len();
+        match reader.read_line(buf) {
+            Ok(0) => {
+                // EOF; any bytes from an earlier partial read are a
+                // final unterminated line.
+                return Ok(if buf.is_empty() { LineRead::Close } else { LineRead::Line });
+            }
+            Ok(_) => return Ok(LineRead::Line),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.len() > len_before {
+                    last_progress = Instant::now();
+                }
+                if shared.shutting_down() {
+                    return Ok(LineRead::Close);
+                }
+                if let Some(idle) = shared.idle_timeout {
+                    if last_progress.elapsed() >= idle {
+                        shared.metrics.timeouts.inc();
+                        return Ok(LineRead::Close);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one connection on a worker thread. Returns `Err` only for
+/// real I/O failures (client reset, broken pipe) — the caller counts
+/// those as `serve.conn_errors`; everything else (EOF, idle reap,
+/// budget exhaustion, handler panic) closes the connection cleanly.
+fn handle_connection(ctx: &WorkerCtx<'_>, stream: TcpStream) -> std::io::Result<()> {
+    // The polling read timeout doubles as the shutdown-responsiveness
+    // bound; `read_request_line` keeps partial lines across polls.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // NDJSON replies are small; without this, Nagle + delayed ACK adds
+    // ~40 ms per round trip on a pipelining client.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match read_request_line(&mut reader, &mut buf, ctx.shared)? {
+            LineRead::Close => return Ok(()),
+            LineRead::Line => {}
+        }
+        let line = buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !ctx.shared.claim_reply() {
+            return Ok(()); // budget spent — close unanswered
+        }
+        // Fault isolation: a panic anywhere in parse/predict/serialize
+        // must not unwind through the worker loop. The worker's tape
+        // mutex is poison-recovered by RtpService on the next request.
+        let reply = catch_unwind(AssertUnwindSafe(|| handle_line(ctx, line)));
+        match reply {
+            Ok(Reply::Line(mut body)) => {
+                body.push('\n');
+                // Count before the write lands: a client must never
+                // observe a reply whose counters haven't settled (the
+                // stats request relies on exact accounting).
+                ctx.replies.inc();
+                writer.write_all(body.as_bytes())?;
+                writer.flush()?;
+                ctx.shared.after_reply();
+            }
+            Ok(Reply::ShutdownAck(mut body)) => {
+                body.push('\n');
+                ctx.replies.inc();
+                writer.write_all(body.as_bytes())?;
+                writer.flush()?;
+                ctx.shared.trigger_shutdown();
+                return Ok(());
+            }
+            Err(_) => {
+                ctx.shared.metrics.panics.inc();
+                let mut err = serde_json::to_string(&ServeError {
+                    error: "internal error: request handler panicked; connection closed".into(),
+                })
+                .expect("serialise error");
+                err.push('\n');
+                // Best effort — the client may already be gone.
+                let _ = writer.write_all(err.as_bytes());
+                let _ = writer.flush();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// A reply line, plus whether it also requests server shutdown.
+enum Reply {
+    Line(String),
+    ShutdownAck(String),
+}
+
+/// Produces the reply for one request line, recording telemetry.
+fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
+    let shared = ctx.shared;
+    let metrics = &shared.metrics;
+    let err_line = |msg: String| {
+        metrics.errors.inc();
+        Reply::Line(serde_json::to_string(&ServeError { error: msg }).expect("serialise error"))
+    };
     let t0 = Instant::now();
-    // Control plane: `{"cmd":"stats"}` (an RtpQuery has no `cmd` key).
+    // Control plane: `{"cmd":...}` (an RtpQuery has no `cmd` key).
     if let Ok(ctl) = serde_json::from_str::<ControlCmd>(line) {
-        return if ctl.cmd == "stats" {
-            metrics.stats.inc();
-            metrics.refresh_pool(service);
-            let mut snap = registry.snapshot();
-            // The global registry carries process-wide metrics (matmul
-            // kernel counters, training gauges); merging demonstrates
-            // snapshot associativity in anger.
-            snap.merge(&rtp_obs::metrics::global().snapshot());
-            serde_json::to_string(&StatsReply::from_snapshot(&snap)).expect("serialise stats")
-        } else {
-            metrics.errors.inc();
-            serde_json::to_string(&ServeError { error: format!("unknown cmd `{}`", ctl.cmd) })
-                .expect("serialise error")
+        return match ctl.cmd.as_str() {
+            "stats" => {
+                metrics.stats.inc();
+                shared.refresh_pool(&ctx.service, &ctx.pool_last);
+                let mut snap = shared.registry.snapshot();
+                // The global registry carries process-wide metrics
+                // (matmul kernel counters, training gauges); merging
+                // demonstrates snapshot associativity in anger.
+                snap.merge(&rtp_obs::metrics::global().snapshot());
+                Reply::Line(
+                    serde_json::to_string(&StatsReply::from_snapshot(&snap))
+                        .expect("serialise stats"),
+                )
+            }
+            "shutdown" if shared.allow_shutdown => {
+                metrics.stats.inc();
+                Reply::ShutdownAck(
+                    "{\"ok\":\"shutting down: draining in-flight connections\"}".to_string(),
+                )
+            }
+            "shutdown" => {
+                err_line("shutdown disabled: start the server with --allow-shutdown".into())
+            }
+            // Fault-injection hook for the isolation tests; rides the
+            // same opt-in flag as shutdown.
+            "panic" if shared.allow_shutdown => panic!("induced panic via control command"),
+            other => err_line(format!("unknown cmd `{other}`")),
         };
     }
     match serde_json::from_str::<RtpQuery>(line) {
-        Err(e) => {
-            metrics.errors.inc();
-            serde_json::to_string(&ServeError { error: format!("bad request: {e}") })
-                .expect("serialise error")
-        }
-        Ok(query) if query.orders.is_empty() => {
-            metrics.errors.inc();
-            serde_json::to_string(&ServeError { error: "bad request: empty order set".into() })
-                .expect("serialise error")
-        }
+        Err(e) => err_line(format!("bad request: {e}")),
+        Ok(query) if query.orders.is_empty() => err_line("bad request: empty order set".into()),
         Ok(query) => {
-            let courier = dataset.couriers.get(query.courier_id).unwrap_or(&dataset.couriers[0]);
-            let resp = service.handle(&dataset.city, courier, &query);
+            // A wrong courier must be an error, not a silent
+            // courier-0 prediction served as success.
+            let Some(courier) = ctx.dataset.couriers.get(query.courier_id) else {
+                return err_line(format!(
+                    "unknown courier_id {} (dataset has {} couriers)",
+                    query.courier_id,
+                    ctx.dataset.couriers.len()
+                ));
+            };
+            let resp = ctx.service.handle(&ctx.dataset.city, courier, &query);
             let body = serde_json::to_string(&ServeBody {
                 sorted_orders: resp.sorted_orders,
                 aoi_sequence: resp.aoi_sequence,
@@ -315,11 +647,11 @@ fn handle_line(
             metrics.latency_us.record(latency_us);
             metrics.route_len.record(query.orders.len() as u64);
             metrics.requests.inc();
-            metrics.refresh_pool(service);
+            shared.refresh_pool(&ctx.service, &ctx.pool_last);
             let latency_ms = latency_us as f64 / 1000.0;
             // Splice latency into the serialized body ({"a":.. ->
             // {"latency_ms":X,"a":..): field order is free in JSON.
-            format!("{{\"latency_ms\":{latency_ms},{}", &body[1..])
+            Reply::Line(format!("{{\"latency_ms\":{latency_ms},{}", &body[1..]))
         }
     }
 }

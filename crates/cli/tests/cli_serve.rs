@@ -1,82 +1,316 @@
-//! End-to-end test of the TCP inference server: train a tiny model,
-//! serve it on an ephemeral port, and act as a client speaking
-//! newline-delimited JSON.
+//! End-to-end tests of the TCP inference server: train a tiny model,
+//! serve it on an ephemeral port with a worker pool, and act as one or
+//! many clients speaking newline-delimited JSON — including clients
+//! that misbehave (garbage, hard closes, induced panics), which must
+//! cost only their own connection, never the server.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+mod common;
 
-use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
-use rtp_cli::serve::{serve, ServeResponse};
-use rtp_sim::{DatasetBuilder, DatasetConfig};
+use common::{query_line, start_server, strip_latency, trained_model, Client};
+use m2g4rtp::M2G4Rtp;
+use rtp_cli::serve::{ServeOptions, ServeResponse, StatsReply};
+use std::time::Duration;
+
+/// Asserts a reply is a well-formed prediction for `n_orders` orders:
+/// `sorted_orders` a permutation, ETAs finite and non-negative.
+fn assert_valid_prediction(reply: &str, n_orders: usize) -> ServeResponse {
+    let resp: ServeResponse = serde_json::from_str(reply).expect("valid response JSON");
+    assert_eq!(resp.sorted_orders.len(), n_orders);
+    assert_eq!(resp.eta_minutes.len(), n_orders);
+    assert!(resp.eta_minutes.iter().all(|&e| e >= 0.0 && e.is_finite()));
+    assert!(resp.latency_ms > 0.0);
+    let mut seen = vec![false; n_orders];
+    for &i in &resp.sorted_orders {
+        assert!(!seen[i], "duplicate order index in route");
+        seen[i] = true;
+    }
+    resp
+}
+
+/// Polls `{"cmd":"stats"}` on a fresh connection until `pred` holds or
+/// the deadline passes (some failure counters lag the client's view of
+/// the fault, e.g. a reset is seen at the server's next read).
+fn wait_for_stats(addr: &str, pred: impl Fn(&StatsReply) -> bool) -> StatsReply {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut c = Client::connect(addr);
+        let stats: StatsReply =
+            serde_json::from_str(&c.round_trip("{\"cmd\":\"stats\"}")).expect("stats reply parses");
+        if pred(&stats) || std::time::Instant::now() > deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
 
 #[test]
 fn serve_answers_queries_over_tcp() {
-    let dataset = DatasetBuilder::new(DatasetConfig::tiny(151)).build();
-    let mut cfg = ModelConfig::for_dataset(&dataset);
-    cfg.d_loc = 16;
-    cfg.d_aoi = 16;
-    cfg.n_heads = 2;
-    cfg.n_layers = 1;
-    let mut model = M2G4Rtp::new(cfg, 3);
-    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+    let (dataset, model) = trained_model(151);
+    let opts = ServeOptions { max_requests: 3, ..Default::default() };
+    let server = start_server(model, dataset.clone(), opts);
 
-    // capture the server's "listening on ADDR" line through a pipe
-    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
-    struct AddrSink(std::sync::mpsc::Sender<String>, Vec<u8>);
-    impl Write for AddrSink {
-        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.1.extend_from_slice(buf);
-            if let Some(pos) = self.1.iter().position(|&b| b == b'\n') {
-                let line = String::from_utf8_lossy(&self.1[..pos]).to_string();
-                if let Some(addr) = line.strip_prefix("listening on ") {
-                    let _ = self.0.send(addr.to_string());
-                }
-                self.1.drain(..=pos);
-            }
-            Ok(buf.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
-    }
-
-    let dataset2 = dataset.clone();
-    let server = std::thread::spawn(move || {
-        let mut sink = AddrSink(addr_tx, Vec::new());
-        // serve exactly 3 requests on an ephemeral port, then exit
-        serve(model, dataset2, 0, 3, &mut sink).expect("server runs");
-    });
-
-    let addr = addr_rx.recv_timeout(std::time::Duration::from_secs(30)).expect("server address");
-    let mut stream = TcpStream::connect(&addr).expect("connect");
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-
+    let mut client = Client::connect(&server.addr);
     // 1–2: two valid queries, pipelined on one connection
     for k in 0..2 {
-        let q = &dataset.test[k].query;
-        let line = serde_json::to_string(q).expect("serialise query");
-        stream.write_all(line.as_bytes()).unwrap();
-        stream.write_all(b"\n").unwrap();
-        let mut reply = String::new();
-        reader.read_line(&mut reply).unwrap();
-        let resp: ServeResponse = serde_json::from_str(&reply).expect("valid response JSON");
-        assert_eq!(resp.sorted_orders.len(), q.orders.len());
-        assert_eq!(resp.eta_minutes.len(), q.orders.len());
-        assert!(resp.eta_minutes.iter().all(|&e| e >= 0.0 && e.is_finite()));
-        assert!(resp.latency_ms > 0.0);
-        // sorted orders are a permutation
-        let mut seen = vec![false; q.orders.len()];
-        for &i in &resp.sorted_orders {
-            assert!(!seen[i]);
-            seen[i] = true;
-        }
+        let reply = client.round_trip(&query_line(&dataset, k));
+        assert_valid_prediction(&reply, dataset.test[k].query.orders.len());
     }
-
     // 3: malformed request gets a JSON error, not a dropped connection
-    stream.write_all(b"this is not json\n").unwrap();
-    let mut reply = String::new();
-    reader.read_line(&mut reply).unwrap();
+    let reply = client.round_trip("this is not json");
     assert!(reply.contains("error"), "expected error reply, got: {reply}");
 
-    server.join().expect("server thread exits cleanly");
+    let summary = server.shutdown_summary();
+    assert!(summary.contains("served 3 request(s): 2 ok, 1 error(s)"), "{summary}");
+}
+
+#[test]
+fn concurrent_pipelining_clients_all_get_valid_permutations_with_exact_accounting() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 3;
+    let (dataset, model) = trained_model(157);
+    let opts = ServeOptions {
+        workers: 4,
+        max_requests: CLIENTS * PER_CLIENT + 1, // + the final stats line
+        ..Default::default()
+    };
+    let server = start_server(model, dataset.clone(), opts);
+
+    let addr = &server.addr;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let dataset = &dataset;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                // pipeline: write every request, then read every reply
+                for k in 0..PER_CLIENT {
+                    client.send(&query_line(dataset, c * PER_CLIENT + k));
+                }
+                for k in 0..PER_CLIENT {
+                    let reply = client.recv();
+                    let q = &dataset.test[(c * PER_CLIENT + k) % dataset.test.len()].query;
+                    assert_valid_prediction(&reply, q.orders.len());
+                }
+            });
+        }
+    });
+
+    // every reply above is accounted for before this stats round trip
+    let mut client = Client::connect(addr);
+    let stats: StatsReply =
+        serde_json::from_str(&client.round_trip("{\"cmd\":\"stats\"}")).expect("stats parses");
+    assert_eq!(stats.counters.get("serve.requests"), Some(&((CLIENTS * PER_CLIENT) as u64)));
+    assert_eq!(stats.counters.get("serve.errors"), Some(&0));
+    assert_eq!(stats.counters.get("serve.connections"), Some(&((CLIENTS + 1) as u64)));
+    let worker_sum: u64 = stats
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve.worker.") && k.ends_with(".requests"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(worker_sum, (CLIENTS * PER_CLIENT) as u64, "per-worker counters must add up");
+
+    let summary = server.shutdown_summary();
+    assert!(
+        summary.contains(&format!(
+            "served {} request(s): {} ok, 0 error(s), 1 stats",
+            CLIENTS * PER_CLIENT + 1,
+            CLIENTS * PER_CLIENT
+        )),
+        "{summary}"
+    );
+}
+
+#[test]
+fn garbage_then_hard_close_costs_only_that_connection() {
+    let (dataset, model) = trained_model(163);
+    let opts = ServeOptions { workers: 2, allow_shutdown: true, ..Default::default() };
+    let server = start_server(model, dataset.clone(), opts);
+
+    // a well-behaved client, connected the whole time
+    let mut good = Client::connect(&server.addr);
+    let reply = good.round_trip(&query_line(&dataset, 0));
+    assert_valid_prediction(&reply, dataset.test[0].query.orders.len());
+
+    {
+        // a hostile client: garbage line, then a hard close mid-line
+        // with an unread reply in its receive buffer (⇒ RST, so the
+        // server sees a genuine I/O error, not a clean EOF)
+        let mut bad = Client::connect(&server.addr);
+        let reply = bad.round_trip("garbage that is not json");
+        assert!(reply.contains("error"), "{reply}");
+        bad.send(&query_line(&dataset, 1)); // reply never read
+        bad.send_partial(b"{\"truncated");
+        bad.close_with_unread();
+    }
+
+    // the good client keeps getting served while the bad one dies
+    for k in 2..5 {
+        let reply = good.round_trip(&query_line(&dataset, k));
+        assert_valid_prediction(&reply, dataset.test[k].query.orders.len());
+    }
+
+    let stats = wait_for_stats(&server.addr, |s| {
+        s.counters.get("serve.conn_errors").copied().unwrap_or(0) >= 1
+    });
+    assert!(
+        stats.counters.get("serve.conn_errors").copied().unwrap_or(0) >= 1,
+        "the hard close must surface as a connection error: {:?}",
+        stats.counters
+    );
+    assert!(stats.counters.get("serve.requests").copied().unwrap_or(0) >= 5);
+
+    let mut c = Client::connect(&server.addr);
+    assert!(c.round_trip("{\"cmd\":\"shutdown\"}").contains("shutting down"));
+    let summary = server.shutdown_summary();
+    assert!(summary.contains("conn error(s)"), "{summary}");
+    assert!(!summary.contains("0 conn error(s)"), "{summary}");
+}
+
+#[test]
+fn unknown_courier_is_an_error_not_a_courier0_prediction() {
+    let (dataset, model) = trained_model(167);
+    let opts = ServeOptions { max_requests: 3, ..Default::default() };
+    let server = start_server(model, dataset.clone(), opts);
+
+    let mut client = Client::connect(&server.addr);
+    let mut query = dataset.test[0].query.clone();
+    query.courier_id = 1_000_000;
+    let line = serde_json::to_string(&query).expect("serialise query");
+    let reply = client.round_trip(&line);
+    assert!(
+        reply.contains("unknown courier_id 1000000"),
+        "must name the bad courier id, got: {reply}"
+    );
+    assert!(
+        serde_json::from_str::<ServeResponse>(&reply).is_err(),
+        "an unknown courier must not yield a prediction: {reply}"
+    );
+
+    // a valid query on the same connection still works
+    let reply = client.round_trip(&query_line(&dataset, 0));
+    assert_valid_prediction(&reply, dataset.test[0].query.orders.len());
+
+    let stats: StatsReply =
+        serde_json::from_str(&client.round_trip("{\"cmd\":\"stats\"}")).expect("stats parses");
+    assert_eq!(stats.counters.get("serve.errors"), Some(&1));
+    assert_eq!(stats.counters.get("serve.requests"), Some(&1));
+
+    server.shutdown_summary();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let (dataset, model) = trained_model(173);
+    let opts = ServeOptions {
+        workers: 2,
+        idle_timeout: Some(Duration::from_millis(200)),
+        allow_shutdown: true,
+        ..Default::default()
+    };
+    let server = start_server(model, dataset.clone(), opts);
+
+    let mut stalled = Client::connect(&server.addr);
+    // send nothing: the server must close this connection on its own
+    let reply = stalled.recv();
+    assert!(reply.is_empty(), "idle connection must be reaped with EOF, got: {reply}");
+
+    let stats =
+        wait_for_stats(&server.addr, |s| s.counters.get("serve.timeouts").copied() >= Some(1));
+    assert!(
+        stats.counters.get("serve.timeouts").copied().unwrap_or(0) >= 1,
+        "{:?}",
+        stats.counters
+    );
+
+    // reaping must not affect fresh connections
+    let mut c = Client::connect(&server.addr);
+    let reply = c.round_trip(&query_line(&dataset, 0));
+    assert_valid_prediction(&reply, dataset.test[0].query.orders.len());
+    assert!(c.round_trip("{\"cmd\":\"shutdown\"}").contains("shutting down"));
+    let summary = server.shutdown_summary();
+    assert!(summary.contains("1 timeout(s)"), "{summary}");
+}
+
+/// The acceptance test: with one connection force-killed mid-request
+/// and one request panicking, the server stays up, later requests on
+/// fresh connections succeed, the shutdown summary reports the
+/// failures — and the N-worker server's predictions are byte-identical
+/// to the single-worker path for the same queries (per-worker tapes
+/// must not change numerics).
+#[test]
+fn fault_isolation_and_multi_worker_determinism() {
+    let (dataset, model) = trained_model(179);
+    // two bit-identical models from one set of trained weights
+    let saved = serde_json::to_string(&model.to_saved()).expect("serialise model");
+    let model_multi = M2G4Rtp::from_saved(serde_json::from_str(&saved).expect("parse model"));
+    let model_single = M2G4Rtp::from_saved(serde_json::from_str(&saved).expect("parse model"));
+
+    const QUERIES: usize = 5;
+    let lines: Vec<String> = (0..QUERIES).map(|k| query_line(&dataset, k)).collect();
+
+    // reference: single worker, sequential
+    let reference: Vec<String> = {
+        let opts = ServeOptions { workers: 1, max_requests: QUERIES, ..Default::default() };
+        let server = start_server(model_single, dataset.clone(), opts);
+        let mut client = Client::connect(&server.addr);
+        let replies = lines.iter().map(|l| strip_latency(&client.round_trip(l))).collect();
+        server.shutdown_summary();
+        replies
+    };
+
+    // system under test: 4 workers, faults injected between requests
+    let opts = ServeOptions { workers: 4, allow_shutdown: true, ..Default::default() };
+    let server = start_server(model_multi, dataset.clone(), opts);
+
+    // fault 1: an in-handler panic (via the gated fault-injection cmd)
+    let mut panicker = Client::connect(&server.addr);
+    let reply = panicker.round_trip("{\"cmd\":\"panic\"}");
+    assert!(reply.contains("internal error"), "best-effort panic reply, got: {reply}");
+    assert!(panicker.recv().is_empty(), "panicking connection must be dropped");
+    drop(panicker);
+
+    // fault 2: a connection force-killed mid-request (reply never read
+    // ⇒ close sends RST ⇒ the server's next read on it fails)
+    let mut killed = Client::connect(&server.addr);
+    killed.send(&lines[0]);
+    killed.close_with_unread();
+
+    // the server is still up: fresh connections serve every query,
+    // byte-identical to the single-worker reference
+    let mut client = Client::connect(&server.addr);
+    for (line, expect) in lines.iter().zip(&reference) {
+        let got = strip_latency(&client.round_trip(line));
+        assert_eq!(&got, expect, "multi-worker reply must be byte-identical to single-worker");
+    }
+    // and concurrent fresh clients agree too
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let addr = &server.addr;
+            let lines = &lines;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for (line, expect) in lines.iter().zip(reference) {
+                    assert_eq!(&strip_latency(&client.round_trip(line)), expect);
+                }
+            });
+        }
+    });
+
+    let stats = wait_for_stats(&server.addr, |s| {
+        s.counters.get("serve.panics").copied() == Some(1)
+            && s.counters.get("serve.conn_errors").copied().unwrap_or(0) >= 1
+    });
+    assert_eq!(stats.counters.get("serve.panics"), Some(&1), "{:?}", stats.counters);
+    assert!(
+        stats.counters.get("serve.conn_errors").copied().unwrap_or(0) >= 1,
+        "{:?}",
+        stats.counters
+    );
+
+    let mut c = Client::connect(&server.addr);
+    assert!(c.round_trip("{\"cmd\":\"shutdown\"}").contains("shutting down"));
+    let summary = server.shutdown_summary();
+    assert!(summary.contains("1 panic(s)"), "{summary}");
+    assert!(!summary.contains("0 conn error(s)"), "{summary}");
 }

@@ -3,84 +3,41 @@
 //! snapshot whose counters and latency histogram reflect exactly the
 //! traffic the server handled.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+mod common;
 
-use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
-use rtp_cli::serve::{serve, ServeResponse, StatsReply};
-use rtp_sim::{DatasetBuilder, DatasetConfig};
+use common::{query_line, start_server, trained_model, Client};
+use rtp_cli::serve::{ServeOptions, ServeResponse, StatsReply};
 
 #[test]
 fn stats_request_reports_latency_percentiles_errors_and_pool_hit_rate() {
-    let dataset = DatasetBuilder::new(DatasetConfig::tiny(171)).build();
-    let mut cfg = ModelConfig::for_dataset(&dataset);
-    cfg.d_loc = 16;
-    cfg.d_aoi = 16;
-    cfg.n_heads = 2;
-    cfg.n_layers = 1;
-    let mut model = M2G4Rtp::new(cfg, 7);
-    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+    let (dataset, model) = trained_model(171);
+    // 2 queries + 1 bad line + 1 stats request = 4 replies
+    let opts = ServeOptions { max_requests: 4, ..Default::default() };
+    let server = start_server(model, dataset.clone(), opts);
 
-    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
-    let (out_tx, out_rx) = std::sync::mpsc::channel::<String>();
-    struct AddrSink(std::sync::mpsc::Sender<String>, std::sync::mpsc::Sender<String>, Vec<u8>);
-    impl Write for AddrSink {
-        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.2.extend_from_slice(buf);
-            while let Some(pos) = self.2.iter().position(|&b| b == b'\n') {
-                let line = String::from_utf8_lossy(&self.2[..pos]).to_string();
-                if let Some(addr) = line.strip_prefix("listening on ") {
-                    let _ = self.0.send(addr.to_string());
-                } else {
-                    let _ = self.1.send(line);
-                }
-                self.2.drain(..=pos);
-            }
-            Ok(buf.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
-    }
-
-    let dataset2 = dataset.clone();
-    let server = std::thread::spawn(move || {
-        let mut sink = AddrSink(addr_tx, out_tx, Vec::new());
-        // 2 queries + 1 bad line + 1 stats request = 4 replies
-        serve(model, dataset2, 0, 4, &mut sink).expect("server runs");
-    });
-
-    let addr = addr_rx.recv_timeout(std::time::Duration::from_secs(30)).expect("server address");
-    let mut stream = TcpStream::connect(&addr).expect("connect");
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-
+    let mut client = Client::connect(&server.addr);
     for k in 0..2 {
-        let q = &dataset.test[k].query;
-        let line = serde_json::to_string(q).expect("serialise query");
-        stream.write_all(line.as_bytes()).unwrap();
-        stream.write_all(b"\n").unwrap();
-        let mut reply = String::new();
-        reader.read_line(&mut reply).unwrap();
+        let reply = client.round_trip(&query_line(&dataset, k));
         let resp: ServeResponse = serde_json::from_str(&reply).expect("valid response JSON");
         // latency field is the histogram sample (µs-quantised), so it
         // must be strictly positive and finite
         assert!(resp.latency_ms > 0.0 && resp.latency_ms.is_finite());
     }
 
-    stream.write_all(b"not json at all\n").unwrap();
-    let mut reply = String::new();
-    reader.read_line(&mut reply).unwrap();
+    let reply = client.round_trip("not json at all");
     assert!(reply.contains("error"), "{reply}");
 
-    stream.write_all(b"{\"cmd\":\"stats\"}\n").unwrap();
-    let mut reply = String::new();
-    reader.read_line(&mut reply).unwrap();
+    let reply = client.round_trip("{\"cmd\":\"stats\"}");
     let stats: StatsReply = serde_json::from_str(&reply).expect("stats reply parses");
 
     // exact traffic accounting
     assert_eq!(stats.counters.get("serve.requests"), Some(&2));
     assert_eq!(stats.counters.get("serve.errors"), Some(&1));
     assert_eq!(stats.counters.get("serve.stats"), Some(&1));
+    assert_eq!(stats.counters.get("serve.connections"), Some(&1));
+    assert_eq!(stats.counters.get("serve.conn_errors"), Some(&0));
+    assert_eq!(stats.counters.get("serve.panics"), Some(&0));
+    assert!(stats.gauges.get("serve.active_connections").copied() >= Some(1.0));
 
     let lat = stats.histograms.get("serve.latency_us").expect("latency histogram present");
     assert_eq!(lat.count, 2);
@@ -99,15 +56,10 @@ fn stats_request_reports_latency_percentiles_errors_and_pool_hit_rate() {
     let fwd = stats.counters.get("tensor.matmul.fwd").copied().unwrap_or(0);
     assert!(fwd > 0, "matmul counter should have counted training + serving work");
 
-    server.join().expect("server thread exits cleanly");
-
     // shutdown summary: served/ok/error counts and latency percentiles
-    let mut summary = String::new();
-    while let Ok(line) = out_rx.try_recv() {
-        summary.push_str(&line);
-        summary.push('\n');
-    }
+    let summary = server.shutdown_summary();
     assert!(summary.contains("served 4 request(s): 2 ok, 1 error(s), 1 stats"), "{summary}");
+    assert!(summary.contains("connections: 1 handled, 0 conn error(s), 0 panic(s)"), "{summary}");
     assert!(summary.contains("latency p50"), "{summary}");
     assert!(summary.contains("p99"), "{summary}");
 }

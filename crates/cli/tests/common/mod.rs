@@ -1,0 +1,158 @@
+//! Shared scaffolding for the serve-layer integration tests: train a
+//! tiny model once, run the server on a background thread capturing
+//! its stdout, and speak the NDJSON protocol as a client.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_cli::serve::{serve, ServeOptions};
+use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
+
+/// A tiny trained model + its dataset (1 epoch; serving latency and
+/// protocol behaviour do not depend on convergence).
+pub fn trained_model(seed: u64) -> (Dataset, M2G4Rtp) {
+    let dataset = DatasetBuilder::new(DatasetConfig::tiny(seed)).build();
+    let mut cfg = ModelConfig::for_dataset(&dataset);
+    cfg.d_loc = 16;
+    cfg.d_aoi = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    let mut model = M2G4Rtp::new(cfg, 3);
+    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &dataset);
+    (dataset, model)
+}
+
+/// Routes the server's "listening on ADDR" line to one channel and
+/// every other stdout line (the shutdown summary) to another.
+struct AddrSink(Sender<String>, Sender<String>, Vec<u8>);
+
+impl Write for AddrSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.2.extend_from_slice(buf);
+        while let Some(pos) = self.2.iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&self.2[..pos]).to_string();
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                let _ = self.0.send(addr.to_string());
+            } else {
+                let _ = self.1.send(line);
+            }
+            self.2.drain(..=pos);
+        }
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A server running on a background thread.
+pub struct ServerHandle {
+    /// `host:port` to connect to.
+    pub addr: String,
+    out_rx: Receiver<String>,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Waits for the server to exit and returns its full stdout (the
+    /// "workers:" line plus the telemetry summary), newline-joined.
+    pub fn shutdown_summary(self) -> String {
+        self.join.join().expect("server thread exits cleanly");
+        let mut summary = String::new();
+        while let Ok(line) = self.out_rx.try_recv() {
+            summary.push_str(&line);
+            summary.push('\n');
+        }
+        summary
+    }
+}
+
+/// Spawns `serve` on an ephemeral port and waits for its address.
+pub fn start_server(model: M2G4Rtp, dataset: Dataset, opts: ServeOptions) -> ServerHandle {
+    let (addr_tx, addr_rx) = channel::<String>();
+    let (out_tx, out_rx) = channel::<String>();
+    let join = std::thread::spawn(move || {
+        let mut sink = AddrSink(addr_tx, out_tx, Vec::new());
+        serve(model, dataset, opts, &mut sink).expect("server runs");
+    });
+    let addr = addr_rx.recv_timeout(Duration::from_secs(60)).expect("server address");
+    ServerHandle { addr, out_rx, join }
+}
+
+/// A blocking NDJSON client connection.
+pub struct Client {
+    pub stream: TcpStream,
+    pub reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self { stream, reader }
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) {
+        self.stream.write_all(format!("{line}\n").as_bytes()).expect("send");
+    }
+
+    /// Reads one reply line (empty string on EOF).
+    pub fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply
+    }
+
+    /// One request/reply round trip.
+    pub fn round_trip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+
+    /// Sends raw bytes with no trailing newline (a truncated line).
+    pub fn send_partial(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send partial");
+    }
+
+    /// Hard-closes the connection while a server reply sits unread in
+    /// the receive buffer, so the close emits an RST and the server's
+    /// next read on this connection fails with a real I/O error
+    /// (a plain close would be a clean EOF). Call only with at least
+    /// one reply in flight.
+    pub fn close_with_unread(self) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let mut byte = [0u8; 1];
+        while self.stream.peek(&mut byte).unwrap_or(0) == 0 {
+            assert!(std::time::Instant::now() < deadline, "no reply arrived to leave unread");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(self);
+    }
+}
+
+/// The k-th test query as a request line.
+pub fn query_line(dataset: &Dataset, k: usize) -> String {
+    serde_json::to_string(&dataset.test[k % dataset.test.len()].query).expect("serialise query")
+}
+
+/// Strips the spliced `"latency_ms":X,` field so two replies to the
+/// same query can be compared byte-for-byte (latency is the only
+/// nondeterministic field).
+pub fn strip_latency(reply: &str) -> String {
+    let body = reply.trim();
+    let prefix = "{\"latency_ms\":";
+    if let Some(rest) = body.strip_prefix(prefix) {
+        if let Some(comma) = rest.find(',') {
+            return format!("{{{}", &rest[comma + 1..]);
+        }
+    }
+    body.to_string()
+}

@@ -4,12 +4,18 @@
 //! M²G4RTP service module) and an **Application Layer** with the two
 //! launched products — Intelligent Order Sorting for couriers and
 //! Minute-Level ETA push messages for users.
+//!
+//! One [`RtpService`] is a *single inference lane*: it shares the model
+//! read-only (via `Arc`, so a worker pool clones the handle, not the
+//! weights) and owns one pooled no-grad [`Tape`]. The serve layer
+//! builds one service per worker thread, so concurrent requests never
+//! contend on a tape mutex.
 
 use m2g4rtp::M2G4Rtp;
 use rtp_sim::{City, Courier, RtpQuery};
 use rtp_tensor::Tape;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// An ETA push message of the Minute-Level ETA service (Fig. 8b).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,7 +47,7 @@ pub struct ServiceResponse {
 
 /// The in-process RTP inference service.
 pub struct RtpService {
-    model: M2G4Rtp,
+    model: Arc<M2G4Rtp>,
     /// No-grad tape reused (cleared, not reallocated) across requests:
     /// after the first request the Inference Layer runs allocation-free
     /// out of the tape's buffer pool.
@@ -55,15 +61,50 @@ impl RtpService {
     /// # Panics
     /// Panics if the model has no pipeline.
     pub fn new(model: M2G4Rtp) -> Self {
+        Self::shared(Arc::new(model))
+    }
+
+    /// Wraps an already-shared trained model — the worker-pool
+    /// constructor: every worker gets its own service (own tape), all
+    /// reading the same weights.
+    ///
+    /// # Panics
+    /// Panics if the model has no pipeline.
+    pub fn shared(model: Arc<M2G4Rtp>) -> Self {
         assert!(model.has_pipeline(), "service needs a trained model with a pipeline");
         Self { model, tape: Mutex::new(Tape::inference()) }
+    }
+
+    /// The shared model handle (e.g. to build another per-worker
+    /// service over the same weights).
+    pub fn model(&self) -> &Arc<M2G4Rtp> {
+        &self.model
+    }
+
+    /// Locks the inference tape, recovering from poisoning: if a
+    /// previous request panicked mid-prediction the tape's node list
+    /// may be in an arbitrary state, but the tape is only a buffer
+    /// cache — correctness never depends on its history (cleared-tape
+    /// reuse is bit-identical to a fresh tape) — so we swap in a fresh
+    /// no-grad tape and keep serving instead of dying on
+    /// `.expect("poisoned")` for every later request.
+    fn lock_tape(&self) -> MutexGuard<'_, Tape> {
+        match self.tape.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.tape.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = Tape::inference();
+                guard
+            }
+        }
     }
 
     /// Buffer-pool statistics `(hits, misses)` of the pooled inference
     /// tape — the serving layer exports these as registry gauges so the
     /// `stats` request can report the steady-state hit rate.
     pub fn pool_stats(&self) -> (u64, u64) {
-        self.tape.lock().expect("inference tape poisoned").pool_stats()
+        self.lock_tape().pool_stats()
     }
 
     /// Handles one RTP request end to end.
@@ -73,7 +114,7 @@ impl RtpService {
         let graph = self.model.build_graph(city, courier, query);
         // Inference Layer — pooled no-grad tape
         let prediction = {
-            let mut tape = self.tape.lock().expect("inference tape poisoned");
+            let mut tape = self.lock_tape();
             self.model.predict_into(&mut tape, &graph)
         };
         // Application Layer
@@ -110,11 +151,10 @@ impl RtpService {
 mod tests {
     use super::*;
     use m2g4rtp::{ModelConfig, TrainConfig, Trainer};
-    use rtp_sim::{DatasetBuilder, DatasetConfig};
+    use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
 
-    #[test]
-    fn service_serves_sorted_orders_and_etas() {
-        let d = DatasetBuilder::new(DatasetConfig::tiny(121)).build();
+    fn trained(seed: u64) -> (Dataset, M2G4Rtp) {
+        let d = DatasetBuilder::new(DatasetConfig::tiny(seed)).build();
         let mut cfg = ModelConfig::for_dataset(&d);
         cfg.d_loc = 16;
         cfg.d_aoi = 16;
@@ -122,6 +162,12 @@ mod tests {
         cfg.n_layers = 1;
         let mut model = m2g4rtp::M2G4Rtp::new(cfg, 1);
         Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model, &d);
+        (d, model)
+    }
+
+    #[test]
+    fn service_serves_sorted_orders_and_etas() {
+        let (d, model) = trained(121);
         let service = RtpService::new(model);
         let s = &d.test[0];
         let courier = &d.couriers[s.query.courier_id];
@@ -140,5 +186,47 @@ mod tests {
             assert!(!seen[i]);
             seen[i] = true;
         }
+    }
+
+    #[test]
+    fn poisoned_tape_recovers_instead_of_dying_forever() {
+        let (d, model) = trained(122);
+        let service = RtpService::new(model);
+        let s = &d.test[0];
+        let courier = &d.couriers[s.query.courier_id];
+        let before = service.handle(&d.city, courier, &s.query);
+
+        // Poison the tape mutex the way a panicking handler would:
+        // panic while holding the lock.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = service.tape.lock().unwrap();
+            panic!("simulated mid-prediction panic");
+        }));
+        assert!(poison.is_err());
+        assert!(service.tape.is_poisoned(), "lock must actually be poisoned");
+
+        // Every later request must still be served — and identically.
+        let after = service.handle(&d.city, courier, &s.query);
+        assert_eq!(before.sorted_orders, after.sorted_orders);
+        assert_eq!(before.aoi_sequence, after.aoi_sequence);
+        let bits = |v: &[EtaMessage]| v.iter().map(|e| e.eta_minutes.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&before.etas), bits(&after.etas), "recovery must not change numerics");
+        // pool_stats must not panic either
+        let _ = service.pool_stats();
+    }
+
+    #[test]
+    fn per_worker_services_share_weights_and_agree() {
+        let (d, model) = trained(123);
+        let model = Arc::new(model);
+        let a = RtpService::shared(Arc::clone(&model));
+        let b = RtpService::shared(model);
+        let s = &d.test[0];
+        let courier = &d.couriers[s.query.courier_id];
+        let ra = a.handle(&d.city, courier, &s.query);
+        let rb = b.handle(&d.city, courier, &s.query);
+        assert_eq!(ra.sorted_orders, rb.sorted_orders);
+        let bits = |v: &[EtaMessage]| v.iter().map(|e| e.eta_minutes.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ra.etas), bits(&rb.etas), "separate tapes must not change numerics");
     }
 }
