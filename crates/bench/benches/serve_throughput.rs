@@ -161,6 +161,6 @@ fn main() {
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&out).expect("create results dir");
     let path = out.join("serve_throughput.json");
-    std::fs::write(&path, json).expect("write results JSON");
+    rtp_obs::fsio::write_atomic_str(&path, &json).expect("write results JSON");
     println!("wrote {}", path.display());
 }

@@ -4,9 +4,11 @@
 //! Measures [`TrainReport::train_loop_seconds`] — the forward/backward
 //! shard loop plus the ordered gradient reduction and optimizer step —
 //! so dataset preparation and validation passes do not dilute the
-//! scaling number. Writes `results/training_throughput.json`.
+//! scaling number. Also measures the wall-clock overhead of per-epoch
+//! durable checkpointing (target: < 5% at quick scale). Writes
+//! `results/training_throughput.json`.
 
-use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use m2g4rtp::{CheckpointOptions, M2G4Rtp, ModelConfig, TrainConfig, TrainReport, Trainer};
 use rtp_bench::bench_dataset;
 use rtp_tensor::parallel::resolve_threads;
 
@@ -19,11 +21,16 @@ struct Row {
     final_loss_bits: u32,
 }
 
-fn measure(threads: usize) -> Row {
+fn train(threads: usize, ckpt: Option<&CheckpointOptions>) -> TrainReport {
     let dataset = bench_dataset();
     let mut model = M2G4Rtp::new(ModelConfig::for_dataset(&dataset), 7);
     let cfg = TrainConfig { epochs: EPOCHS, patience: usize::MAX, threads, ..TrainConfig::quick() };
-    let report = Trainer::new(cfg).fit(&mut model, &dataset);
+    Trainer::new(cfg).fit_with_checkpoints(&mut model, &dataset, ckpt).expect("training failed")
+}
+
+fn measure(threads: usize) -> Row {
+    let dataset = bench_dataset();
+    let report = train(threads, None);
     let samples = (report.epochs_run * dataset.train.len()) as f64;
     Row {
         threads,
@@ -36,6 +43,16 @@ fn measure(threads: usize) -> Row {
             .train_loss
             .to_bits(),
     }
+}
+
+/// Per-epoch checkpoint overhead as a fraction of the uncheckpointed
+/// wall clock, at a fixed thread count.
+fn measure_checkpoint_overhead() -> (f64, f64, f64) {
+    let plain = train(1, None).train_seconds;
+    let dir = std::env::temp_dir().join(format!("rtp-bench-ckpt-{}", std::process::id()));
+    let checkpointed = train(1, Some(&CheckpointOptions::new(&dir))).train_seconds;
+    std::fs::remove_dir_all(&dir).ok();
+    ((checkpointed - plain).max(0.0) / plain.max(1e-9), plain, checkpointed)
 }
 
 fn main() {
@@ -58,6 +75,12 @@ fn main() {
     let identical = rows.iter().all(|r| r.final_loss_bits == rows[0].final_loss_bits);
     println!("final-epoch loss bit-identical across thread counts: {identical}");
 
+    let (overhead_frac, plain_s, ckpt_s) = measure_checkpoint_overhead();
+    println!(
+        "checkpointing overhead: {:.1}% wall clock ({plain_s:.2}s plain vs {ckpt_s:.2}s checkpointed, {EPOCHS} epochs)",
+        overhead_frac * 100.0
+    );
+
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -71,12 +94,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"training_throughput\",\n  \"epochs\": {EPOCHS},\n  \"cores_available\": {cores},\n  \"loss_bit_identical_across_threads\": {identical},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"training_throughput\",\n  \"epochs\": {EPOCHS},\n  \"cores_available\": {cores},\n  \"loss_bit_identical_across_threads\": {identical},\n  \"checkpoint_overhead_frac\": {overhead_frac:.4},\n  \"train_seconds_plain\": {plain_s:.4},\n  \"train_seconds_checkpointed\": {ckpt_s:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&out).expect("create results dir");
     let path = out.join("training_throughput.json");
-    std::fs::write(&path, json).expect("write results JSON");
+    rtp_obs::fsio::write_atomic_str(&path, &json).expect("write results JSON");
     println!("wrote {}", path.display());
 }

@@ -38,6 +38,10 @@ pub enum Command {
         out: String,
         /// Optional JSONL span-trace path (empty = tracing off).
         log_json: String,
+        /// Directory for durable per-epoch checkpoints (empty = off).
+        checkpoint_dir: String,
+        /// Resume from the latest checkpoint in `checkpoint_dir`.
+        resume: bool,
     },
     /// Predict one test sample and compare with its label.
     Predict {
@@ -96,7 +100,8 @@ rtp — M2G4RTP route & time prediction toolkit
 
 USAGE:
   rtp generate --scale <tiny|quick|full> [--seed N] --out <dataset.json>
-  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] [--log-json spans.jsonl] --out <model.json>
+  rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] [--log-json spans.jsonl]
+               [--checkpoint-dir DIR] [--resume] --out <model.json>
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
   rtp evaluate --model <model.json> --dataset <dataset.json>
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
@@ -132,6 +137,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut idle_timeout_secs = 0u64;
     let mut allow_shutdown = false;
     let mut log_json = String::new();
+    let mut checkpoint_dir = String::new();
+    let mut resume = false;
 
     while let Some(flag) = it.next() {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
@@ -166,6 +173,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             }
             "--allow-shutdown" => allow_shutdown = true,
             "--log-json" => log_json = v(&mut it)?,
+            "--checkpoint-dir" => checkpoint_dir = v(&mut it)?,
+            "--resume" => resume = true,
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -194,7 +203,20 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             {
                 return Err(ParseError(format!("unknown variant `{variant}`")));
             }
-            Command::Train { dataset, epochs, variant, seed, threads, out, log_json }
+            if resume && checkpoint_dir.is_empty() {
+                return Err(ParseError("--resume requires --checkpoint-dir".into()));
+            }
+            Command::Train {
+                dataset,
+                epochs,
+                variant,
+                seed,
+                threads,
+                out,
+                log_json,
+                checkpoint_dir,
+                resume,
+            }
         }
         "predict" => {
             require("model", &model)?;
@@ -282,6 +304,41 @@ mod tests {
             parse(&["train", "--dataset", "d.json", "--out", "m.json", "--threads", "4"]).unwrap();
         assert!(matches!(cli.command, Command::Train { threads: 4, .. }));
         assert!(parse(&["train", "--dataset", "d", "--out", "m", "--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_train_checkpoint_flags() {
+        let cli = parse(&["train", "--dataset", "d.json", "--out", "m.json"]).unwrap();
+        match cli.command {
+            Command::Train { checkpoint_dir, resume, .. } => {
+                assert!(checkpoint_dir.is_empty(), "checkpointing is off by default");
+                assert!(!resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse(&[
+            "train",
+            "--dataset",
+            "d.json",
+            "--out",
+            "m.json",
+            "--checkpoint-dir",
+            "ck",
+            "--resume",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Train { checkpoint_dir, resume, .. } => {
+                assert_eq!(checkpoint_dir, "ck");
+                assert!(resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(
+            parse(&["train", "--dataset", "d", "--out", "m", "--resume"]).is_err(),
+            "--resume without --checkpoint-dir must be rejected"
+        );
+        assert!(parse(&["train", "--dataset", "d", "--out", "m", "--checkpoint-dir"]).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Implementations of the CLI subcommands.
 
 use std::fs;
+use std::path::Path;
 
-use m2g4rtp::{M2G4Rtp, ModelConfig, SavedModel, TrainConfig, Trainer, Variant};
+use m2g4rtp::{CheckpointOptions, M2G4Rtp, ModelConfig, SavedModel, TrainConfig, Trainer, Variant};
 use rtp_metrics::{
     acc_at, hr_at_k, krc, lsd, mae, rmse, Bucket, RouteMetricAccumulator, TimeMetricAccumulator,
 };
+use rtp_obs::fsio::write_atomic_str;
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
 
 use crate::args::Command;
@@ -27,7 +29,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 other => unreachable!("parser rejects scale {other}"),
             };
             let dataset = DatasetBuilder::new(config).build();
-            fs::write(&path, dataset.to_json().expect("serialise dataset"))?;
+            write_atomic_str(Path::new(&path), &dataset.to_json().expect("serialise dataset"))?;
             writeln!(
                 out,
                 "wrote {path}: {} train / {} val / {} test samples, {} AOIs, {} couriers",
@@ -39,7 +41,17 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             )?;
             Ok(0)
         }
-        Command::Train { dataset, epochs, variant, seed, threads, out: path, log_json } => {
+        Command::Train {
+            dataset,
+            epochs,
+            variant,
+            seed,
+            threads,
+            out: path,
+            log_json,
+            checkpoint_dir,
+            resume,
+        } => {
             let dataset = load_dataset(&dataset)?;
             if !log_json.is_empty() {
                 rtp_obs::trace::attach_file(&log_json)?;
@@ -64,7 +76,24 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 variant.label(),
                 model.num_parameters()
             )?;
-            let report = Trainer::new(train_cfg).fit(&mut model, &dataset);
+            let ckpt = (!checkpoint_dir.is_empty()).then(|| {
+                if resume {
+                    CheckpointOptions::resume(&checkpoint_dir)
+                } else {
+                    CheckpointOptions::new(&checkpoint_dir)
+                }
+            });
+            if let Some(o) = &ckpt {
+                writeln!(
+                    out,
+                    "{} checkpoints at {}",
+                    if resume { "resuming from" } else { "writing" },
+                    o.file().display()
+                )?;
+            }
+            let report = Trainer::new(train_cfg)
+                .fit_with_checkpoints(&mut model, &dataset, ckpt.as_ref())
+                .map_err(std::io::Error::other)?;
             if !log_json.is_empty() {
                 rtp_obs::trace::detach();
                 writeln!(out, "wrote span trace to {log_json}")?;
@@ -74,7 +103,10 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 "trained {} epochs in {:.1}s — best val KRC {:.3}, MAE {:.1} min",
                 report.epochs_run, report.train_seconds, report.best_val_krc, report.best_val_mae
             )?;
-            fs::write(&path, serde_json::to_string(&model.to_saved()).expect("serialise model"))?;
+            write_atomic_str(
+                Path::new(&path),
+                &serde_json::to_string(&model.to_saved()).expect("serialise model"),
+            )?;
             writeln!(out, "wrote {path}")?;
             Ok(0)
         }
@@ -160,8 +192,13 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
 
 fn load_dataset(path: &str) -> std::io::Result<Dataset> {
     let text = fs::read_to_string(path)?;
-    Dataset::from_json(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}")))
+    let dataset = Dataset::from_json(&text).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
+    })?;
+    dataset.validate().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path}: {e}"))
+    })?;
+    Ok(dataset)
 }
 
 fn load_model(path: &str) -> std::io::Result<M2G4Rtp> {

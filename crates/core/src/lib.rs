@@ -40,12 +40,17 @@
 //! println!("best val KRC {:.3}", report.best_val_krc);
 //! ```
 
+mod checkpoint;
 mod config;
 mod decoder;
 mod encoder;
 mod model;
 mod trainer;
 
+pub use checkpoint::{
+    dataset_fingerprint, CheckpointError, CheckpointOptions, TrainCheckpoint, CHECKPOINT_FILE,
+    CHECKPOINT_VERSION,
+};
 pub use config::{ModelConfig, Variant};
 pub use decoder::{RouteDecoder, SortLstm};
 pub use encoder::{BiLstmEncoder, EdgeEmbedder, Encoder, GatELayer, GatEncoder, NodeEmbedder};

@@ -21,6 +21,9 @@ use rtp_tensor::parallel::{parallel_map_ordered_with, resolve_threads};
 use rtp_tensor::{GradBuffer, Tape};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{
+    dataset_fingerprint, CheckpointError, CheckpointOptions, TrainCheckpoint, CHECKPOINT_VERSION,
+};
 use crate::config::Variant;
 use crate::model::M2G4Rtp;
 
@@ -139,10 +142,44 @@ impl Trainer {
     /// (everything else frozen) — the paper's "assign an optimizer to
     /// the parameters of SortLSTM separately".
     pub fn fit(&self, model: &mut M2G4Rtp, dataset: &Dataset) -> TrainReport {
+        self.fit_with_checkpoints(model, dataset, None)
+            .expect("fit without checkpointing performs no fallible I/O")
+    }
+
+    /// [`Trainer::fit`] with durable per-epoch checkpoints and exact
+    /// resume.
+    ///
+    /// With `ckpt` set, the full training state — weights, Adam
+    /// moments + step count, shuffle RNG state and current
+    /// permutation, epoch index, best-snapshot/patience bookkeeping —
+    /// is written atomically to `ckpt.dir/checkpoint.json` after every
+    /// epoch. With `ckpt.resume`, that state is restored and the epoch
+    /// loop continues where it left off, including mid-warm-up and
+    /// across the two-step phase-A/phase-B boundary.
+    ///
+    /// **Exactness guarantee:** a run killed at any point and resumed
+    /// from its latest checkpoint produces byte-identical final
+    /// weights (and a byte-identical [`crate::SavedModel`] JSON) to an
+    /// uninterrupted run — regardless of `threads`, which may even
+    /// change across the kill boundary.
+    ///
+    /// # Errors
+    /// Fails if a checkpoint cannot be written, or on resume if the
+    /// checkpoint is missing, corrupt, from a different format
+    /// version, or belongs to a different run (config, model
+    /// architecture or dataset mismatch). It never silently retrains
+    /// from scratch.
+    pub fn fit_with_checkpoints(
+        &self,
+        model: &mut M2G4Rtp,
+        dataset: &Dataset,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<TrainReport, CheckpointError> {
         let _fit_span = rtp_obs::span!("train.fit");
         let obs = rtp_obs::metrics::global();
         let (g_loss, g_val_krc, g_val_mae) =
             (obs.gauge("train.loss"), obs.gauge("train.val_krc"), obs.gauge("train.val_mae"));
+        let g_ckpt_bytes = obs.gauge("train.checkpoint_bytes");
         let start = std::time::Instant::now();
         let builder = GraphBuilder::new(GraphConfig::default());
         let scaler = FeatureScaler::fit(dataset, &builder);
@@ -184,12 +221,59 @@ impl Trainer {
 
         let mut indices: Vec<usize> = (0..train_graphs.len()).collect();
         let mut train_loop_seconds = 0.0f64;
+        let mut prior_train_seconds = 0.0f64;
+        let mut start_epoch = 0usize;
+        let mut stopped_early = false;
+        let ds_fingerprint = if ckpt.is_some() { dataset_fingerprint(dataset) } else { 0 };
+        if let Some(o) = ckpt {
+            if o.resume {
+                let cp = TrainCheckpoint::load(&o.dir)?;
+                cp.validate_against(&self.config, model.config(), &model.store, dataset)?;
+                if cp.adam.m.len() != cp.adam.v.len()
+                    || cp.adam.m.iter().zip(&cp.adam.v).any(|(m, v)| m.len() != v.len())
+                {
+                    return Err(CheckpointError::Corrupt(
+                        "Adam moment buffers are internally inconsistent".into(),
+                    ));
+                }
+                let restored = Adam::from_state(cp.adam);
+                if !restored.matches_store(&model.store) {
+                    return Err(CheckpointError::Mismatch(
+                        "Adam moment layout does not match the model's parameters".into(),
+                    ));
+                }
+                opt = restored;
+                model.store.restore(&cp.weights);
+                rng = StdRng::from_state(cp.rng_state);
+                indices = cp.indices;
+                history = cp.history;
+                best_score = f64::from_bits(cp.best_score_bits);
+                best_krc = f64::from_bits(cp.best_krc_bits);
+                best_mae = f64::from_bits(cp.best_mae_bits);
+                best_snapshot = cp.best_snapshot;
+                since_best = cp.since_best;
+                prior_train_seconds = cp.train_seconds;
+                train_loop_seconds = cp.train_loop_seconds;
+                // A checkpoint written at the early-stop epoch means the
+                // uninterrupted run would have trained no further: resume
+                // must finalise, not continue.
+                start_epoch = if cp.stopped_early { self.config.epochs } else { cp.epochs_done };
+                stopped_early = cp.stopped_early;
+                if self.config.verbose {
+                    eprintln!(
+                        "resumed from {} after epoch {}",
+                        o.file().display(),
+                        cp.epochs_done - 1
+                    );
+                }
+            }
+        }
         // One tape per worker, reused (via `clear()`) across every
         // sample of every epoch — steady-state training allocates no
         // tape buffers.
         let workers = resolve_threads(self.config.threads).min(self.config.batch_size.max(1));
         let mut worker_tapes: Vec<Tape> = (0..workers.max(1)).map(|_| Tape::new()).collect();
-        for epoch in 0..self.config.epochs {
+        for epoch in start_epoch..self.config.epochs {
             let _epoch_span = rtp_obs::span!("train.epoch", epoch);
             indices.shuffle(&mut rng);
             let phase_b = two_step && epoch >= phase_a_epochs;
@@ -276,12 +360,11 @@ impl Trainer {
             }
 
             // During two-step phase A and the route warm-up the time
-            // modules are untrained; only start checkpointing (and
-            // counting patience) once every task is being optimised.
+            // modules are untrained; only start tracking the best epoch
+            // (and counting patience) once every task is being optimised.
             let score = val_krc - val_mae / 120.0;
             let in_warmup_phase = warming_up || (two_step && epoch < phase_a_epochs);
-            let checkpointing = !in_warmup_phase;
-            if checkpointing {
+            if !in_warmup_phase {
                 if score > best_score {
                     best_score = score;
                     best_krc = val_krc;
@@ -290,36 +373,69 @@ impl Trainer {
                     since_best = 0;
                 } else {
                     since_best += 1;
-                    if since_best > self.config.patience {
-                        model.store.restore(&best_snapshot);
-                        model.set_pipeline(builder, scaler);
-                        return TrainReport {
-                            epochs_run: epoch + 1,
-                            best_val_krc: best_krc,
-                            best_val_mae: best_mae,
-                            history,
-                            train_seconds: start.elapsed().as_secs_f64(),
-                            train_loop_seconds,
-                        };
-                    }
+                    stopped_early = since_best > self.config.patience;
                 }
             }
+
+            if let Some(o) = ckpt {
+                let bytes = {
+                    let _ckpt_span = rtp_obs::span!("train.checkpoint", epoch);
+                    TrainCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        train_config: self.config.clone(),
+                        model_config: model.config().clone(),
+                        dataset_fingerprint: ds_fingerprint,
+                        epochs_done: epoch + 1,
+                        stopped_early,
+                        rng_state: rng.state(),
+                        indices: indices.clone(),
+                        adam: opt.state(),
+                        weights: model.store.snapshot(),
+                        best_snapshot: best_snapshot.clone(),
+                        best_score_bits: best_score.to_bits(),
+                        best_krc_bits: best_krc.to_bits(),
+                        best_mae_bits: best_mae.to_bits(),
+                        since_best,
+                        history: history.clone(),
+                        train_seconds: prior_train_seconds + start.elapsed().as_secs_f64(),
+                        train_loop_seconds,
+                    }
+                    .save(&o.dir)?
+                };
+                g_ckpt_bytes.set(bytes as f64);
+                if o.stop_after_epoch == Some(epoch) {
+                    // Simulated crash: abandon the run right after the
+                    // checkpoint, skipping best-weight restoration and
+                    // pipeline attachment exactly like a real kill would.
+                    return Ok(TrainReport {
+                        epochs_run: history.len(),
+                        best_val_krc: best_krc,
+                        best_val_mae: best_mae,
+                        history,
+                        train_seconds: prior_train_seconds + start.elapsed().as_secs_f64(),
+                        train_loop_seconds,
+                    });
+                }
+            }
+            if stopped_early {
+                break;
+            }
         }
-        // If no epoch ever checkpointed (e.g. a two-step run that ended
-        // inside phase A), keep the current weights rather than reverting
-        // to initialisation.
+        // If no epoch ever improved the scoreboard (e.g. a two-step run
+        // that ended inside phase A), keep the current weights rather
+        // than reverting to initialisation.
         if best_score > f64::NEG_INFINITY {
             model.store.restore(&best_snapshot);
         }
         model.set_pipeline(builder, scaler);
-        TrainReport {
-            epochs_run: self.config.epochs,
+        Ok(TrainReport {
+            epochs_run: history.len(),
             best_val_krc: best_krc,
             best_val_mae: best_mae,
             history,
-            train_seconds: start.elapsed().as_secs_f64(),
+            train_seconds: prior_train_seconds + start.elapsed().as_secs_f64(),
             train_loop_seconds,
-        }
+        })
     }
 }
 

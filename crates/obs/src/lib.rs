@@ -14,6 +14,10 @@
 //!   wall-time and per-thread parent/child structure, drained as JSONL
 //!   events to a file sink (`rtp train --log-json PATH`) or an
 //!   in-memory sink (the `run_all` timing artifact).
+//! * [`fsio`] — durable artifact writes: [`fsio::write_atomic`] is the
+//!   write-temp → fsync → rename helper every model/checkpoint/results
+//!   writer in the workspace goes through, so a crash or full disk can
+//!   never leave a truncated artifact behind.
 //!
 //! ## Determinism contract
 //!
@@ -27,6 +31,7 @@
 //! same single load for overhead A/B measurement (`obs_overhead`
 //! bench).
 
+pub mod fsio;
 pub mod metrics;
 pub mod trace;
 

@@ -132,6 +132,81 @@ impl Dataset {
     pub fn from_json(s: &str) -> serde_json::Result<Self> {
         serde_json::from_str(s)
     }
+
+    /// Checks every cross-reference in the dataset: courier and AOI ids
+    /// in range, ground-truth routes that are true permutations, and
+    /// aligned truth/query lengths. Generated datasets satisfy this by
+    /// construction; loaders should call it on anything read from disk
+    /// so a hand-edited or corrupted file fails with a message naming
+    /// the offending sample instead of an index-out-of-bounds panic
+    /// deep inside graph construction.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_aois = self.city.aois.len();
+        for c in &self.couriers {
+            if let Some(&bad) = c.territory.iter().find(|&&a| a >= n_aois) {
+                return Err(format!(
+                    "courier {}: territory references AOI {bad} but the city has {n_aois}",
+                    c.id
+                ));
+            }
+        }
+        for (split, samples) in [("train", &self.train), ("val", &self.val), ("test", &self.test)] {
+            for (i, s) in samples.iter().enumerate() {
+                let at = |what: &str| format!("{split} sample {i}: {what}");
+                if s.query.courier_id >= self.couriers.len() {
+                    return Err(at(&format!(
+                        "courier_id {} out of range (fleet has {})",
+                        s.query.courier_id,
+                        self.couriers.len()
+                    )));
+                }
+                if let Some(o) = s.query.orders.iter().find(|o| o.aoi_id >= n_aois) {
+                    return Err(at(&format!(
+                        "order references AOI {} but the city has {n_aois}",
+                        o.aoi_id
+                    )));
+                }
+                let n = s.query.num_locations();
+                if !is_permutation(&s.truth.route, n) {
+                    return Err(at(&format!("route is not a permutation of the {n} locations")));
+                }
+                if s.truth.arrival.len() != n {
+                    return Err(at(&format!(
+                        "{} arrival times for {n} locations",
+                        s.truth.arrival.len()
+                    )));
+                }
+                let m = s.query.distinct_aois().len();
+                if !is_permutation(&s.truth.aoi_route, m) {
+                    return Err(at(&format!(
+                        "AOI route is not a permutation of the {m} visited AOIs"
+                    )));
+                }
+                if s.truth.aoi_arrival.len() != m {
+                    return Err(at(&format!(
+                        "{} AOI arrival times for {m} visited AOIs",
+                        s.truth.aoi_arrival.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether `xs` is a permutation of `0..n`.
+fn is_permutation(xs: &[usize], n: usize) -> bool {
+    if xs.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &x in xs {
+        if x >= n || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
 }
 
 /// Builds datasets from a [`DatasetConfig`].
@@ -356,6 +431,41 @@ mod tests {
         let under_120 = all.iter().filter(|&&t| t < 120.0).count() as f32 / all.len() as f32;
         assert!((35.0..85.0).contains(&mean), "mean arrival {mean} out of calibration band");
         assert!(under_120 > 0.80, "too many arrivals over 120 min: {under_120}");
+    }
+
+    #[test]
+    fn validate_accepts_generated_datasets() {
+        DatasetBuilder::new(DatasetConfig::tiny(11)).build().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_names_the_offending_sample() {
+        let build = || DatasetBuilder::new(DatasetConfig::tiny(11)).build();
+
+        let mut d = build();
+        d.val[1].query.courier_id = 999;
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("val sample 1") && err.contains("courier_id 999"), "{err}");
+
+        let mut d = build();
+        d.train[0].truth.route[0] = d.train[0].truth.route[1];
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("train sample 0") && err.contains("permutation"), "{err}");
+
+        let mut d = build();
+        d.test[2].query.orders[0].aoi_id = 100_000;
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("test sample 2") && err.contains("AOI 100000"), "{err}");
+
+        let mut d = build();
+        d.train[3].truth.arrival.pop();
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("train sample 3") && err.contains("arrival"), "{err}");
+
+        let mut d = build();
+        d.couriers[0].territory.push(100_000);
+        let err = d.validate().unwrap_err();
+        assert!(err.contains("courier 0") && err.contains("territory"), "{err}");
     }
 
     #[test]
