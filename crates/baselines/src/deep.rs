@@ -584,8 +584,11 @@ impl DeepBaseline {
     fn mean_val_mae(&self, graphs: &[MultiLevelGraph], samples: &[RtpSample]) -> f64 {
         let mut sum = 0.0f64;
         let mut n = 0usize;
+        // One pooled no-grad tape across the sweep instead of a fresh
+        // allocation per sample.
+        let mut t = Tape::inference();
         for (g, s) in graphs.iter().zip(samples) {
-            let p = self.predict_graph(g);
+            let p = self.predict_graph_into(&mut t, g);
             for (pt, yt) in p.times.iter().zip(&s.truth.arrival) {
                 sum += (pt - yt).abs() as f64;
             }
@@ -598,10 +601,17 @@ impl DeepBaseline {
     /// no gradient buffers, no op payloads.
     pub fn predict_graph(&self, g: &MultiLevelGraph) -> Prediction {
         let mut t = Tape::inference();
-        let reps = self.encode(&mut t, &self.store, g);
-        let u = self.courier_repr(&mut t, &self.store, g);
-        let route = self.route_dec.decode(&mut t, &self.store, reps, u);
-        let pred = self.time_forward(&mut t, &self.store, g, reps, &route);
+        self.predict_graph_into(&mut t, g)
+    }
+
+    /// Like [`DeepBaseline::predict_graph`] but reuses `t` (cleared
+    /// first), so validation sweeps recycle the tape's buffer pool.
+    pub fn predict_graph_into(&self, t: &mut Tape, g: &MultiLevelGraph) -> Prediction {
+        t.clear();
+        let reps = self.encode(t, &self.store, g);
+        let u = self.courier_repr(t, &self.store, g);
+        let route = self.route_dec.decode(t, &self.store, reps, u);
+        let pred = self.time_forward(t, &self.store, g, reps, &route);
         let times: Vec<f32> = t.data(pred).iter().map(|&v| (v * TIME_SCALE).max(0.0)).collect();
         let m = g.aois.n;
         let (aoi_route, aoi_times) = derive_aoi_outputs(&route, &times, &g.loc_to_aoi, m);

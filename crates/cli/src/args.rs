@@ -77,6 +77,10 @@ pub enum Command {
         idle_timeout_secs: u64,
         /// Honour in-band `{"cmd":"shutdown"}` requests.
         allow_shutdown: bool,
+        /// Micro-batch size cap (1 = batching and encoder cache off).
+        batch_max: usize,
+        /// Micro-batch collection window, microseconds.
+        batch_window_us: u64,
     },
     /// Print usage.
     Help,
@@ -106,6 +110,7 @@ USAGE:
   rtp evaluate --model <model.json> --dataset <dataset.json>
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
                [--workers N] [--idle-timeout-secs S] [--allow-shutdown]
+               [--batch-max N] [--batch-window-us U]
   rtp help
 ";
 
@@ -136,6 +141,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut workers = 0usize;
     let mut idle_timeout_secs = 0u64;
     let mut allow_shutdown = false;
+    let mut batch_max = 1usize;
+    let mut batch_window_us = 1000u64;
     let mut log_json = String::new();
     let mut checkpoint_dir = String::new();
     let mut resume = false;
@@ -172,6 +179,13 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                     v(&mut it)?.parse().map_err(|_| ParseError("bad --idle-timeout-secs".into()))?
             }
             "--allow-shutdown" => allow_shutdown = true,
+            "--batch-max" => {
+                batch_max = v(&mut it)?.parse().map_err(|_| ParseError("bad --batch-max".into()))?
+            }
+            "--batch-window-us" => {
+                batch_window_us =
+                    v(&mut it)?.parse().map_err(|_| ParseError("bad --batch-window-us".into()))?
+            }
             "--log-json" => log_json = v(&mut it)?,
             "--checkpoint-dir" => checkpoint_dir = v(&mut it)?,
             "--resume" => resume = true,
@@ -234,6 +248,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
         "serve" => {
             require("model", &model)?;
             require("dataset", &dataset)?;
+            if batch_max == 0 {
+                return Err(ParseError("--batch-max must be >= 1".into()));
+            }
             Command::Serve {
                 model,
                 dataset,
@@ -242,6 +259,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 workers,
                 idle_timeout_secs,
                 allow_shutdown,
+                batch_max,
+                batch_window_us,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -409,6 +428,31 @@ mod tests {
         assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--workers", "x"]).is_err());
         assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--idle-timeout-secs", "-1"])
             .is_err());
+    }
+
+    #[test]
+    fn parses_serve_batch_flags() {
+        let cli = parse(&[
+            "serve",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--batch-max",
+            "8",
+            "--batch-window-us",
+            "1500",
+        ])
+        .unwrap();
+        assert!(matches!(cli.command, Command::Serve { batch_max: 8, batch_window_us: 1500, .. }));
+        // Defaults: batching off, 1000 µs window.
+        let cli = parse(&["serve", "--model", "m", "--dataset", "d"]).unwrap();
+        assert!(matches!(cli.command, Command::Serve { batch_max: 1, batch_window_us: 1000, .. }));
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--batch-max", "0"]).is_err());
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--batch-max", "x"]).is_err());
+        assert!(
+            parse(&["serve", "--model", "m", "--dataset", "d", "--batch-window-us", "-5"]).is_err()
+        );
     }
 
     #[test]

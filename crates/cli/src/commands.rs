@@ -174,6 +174,8 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             workers,
             idle_timeout_secs,
             allow_shutdown,
+            batch_max,
+            batch_window_us,
         } => {
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
@@ -184,6 +186,8 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 idle_timeout: (idle_timeout_secs > 0)
                     .then(|| std::time::Duration::from_secs(idle_timeout_secs)),
                 allow_shutdown,
+                batch_max,
+                batch_window: std::time::Duration::from_micros(batch_window_us),
             };
             serve::serve(model, dataset, opts, out)
         }

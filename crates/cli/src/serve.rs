@@ -14,6 +14,31 @@
 //! global mutex and per-worker tape reuse cannot change numerics
 //! (cleared-tape reuse is bit-identical to a fresh tape).
 //!
+//! # Micro-batching & encoder cache (`--batch-max`, `--batch-window-us`)
+//!
+//! With `--batch-max N` (N > 1), workers stop running the encoders
+//! themselves: each prediction request's graph is shipped to a single
+//! **inference engine** thread, which collects jobs into a micro-batch
+//! — waiting at most `--batch-window-us` after the first job, or until
+//! `N` jobs are queued — runs **one** batched forward
+//! ([`M2G4Rtp::predict_batch_encoded_into`]: per-sample rows stacked
+//! through every encoder matmul), and demultiplexes replies to the
+//! waiting workers over per-job channels. Stacking is bit-identical per
+//! sample to the unbatched path (every batched op is row-local or runs
+//! on a per-sample slice), so batching can change throughput but never
+//! a reply byte.
+//!
+//! Each batched prediction also yields the sample's encoder activations,
+//! which land in a per-courier **encoder cache** keyed by courier id and
+//! fingerprinted by the full request line. A repeat query (same courier,
+//! byte-identical line — i.e. identical route state) skips feature
+//! extraction and the whole encoder stack: the worker replays the cached
+//! activations through the decoders on its own tape
+//! ([`M2G4Rtp::predict_encoded_into`]), again bit-identical to a cold
+//! forward. Any change in the query line (an order served, the courier
+//! moved, time advanced) misses the fingerprint and the fresh result
+//! replaces the stale entry (`serve.cache.invalidations`).
+//!
 //! # Fault isolation & lifecycle
 //!
 //! * a per-connection I/O error (client reset, broken pipe) drops only
@@ -36,6 +61,12 @@
 //!
 //! * `serve.requests` / `serve.errors` / `serve.stats` — reply
 //!   counters (ok predictions, error replies, stats replies);
+//! * `serve.unknown_cmds` — control lines whose `cmd` value is not a
+//!   known command (counted here, **not** in `serve.errors`: a typo'd
+//!   operator command is not a malformed client request);
+//! * `serve.cache.hits` / `.misses` / `.invalidations` and the
+//!   `serve.cache.hit_rate` gauge — encoder-cache effectiveness;
+//! * `serve.batch_size` — jobs per batched forward histogram;
 //! * `serve.connections` / `serve.conn_errors` / `serve.panics` /
 //!   `serve.timeouts` — connection lifecycle counters;
 //! * `serve.active_connections` — gauge of connections being handled;
@@ -57,20 +88,22 @@
 //! latency.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use m2g4rtp::M2G4Rtp;
-use rtp_eval::service::RtpService;
+use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction};
+use rtp_eval::service::{apply_prediction, RtpService};
+use rtp_graph::MultiLevelGraph;
 use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 use rtp_sim::{Dataset, RtpQuery};
 use rtp_tensor::parallel::resolve_threads;
+use rtp_tensor::Tape;
 use serde::{Deserialize, Serialize};
 
 /// How often a blocked connection read wakes up to check the shutdown
@@ -111,11 +144,8 @@ pub struct ServeError {
     pub error: String,
 }
 
-/// An in-band control request (`{"cmd":"stats"}`, `{"cmd":"shutdown"}`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct ControlCmd {
-    cmd: String,
-}
+/// Known in-band control commands, for the unknown-command reply.
+const KNOWN_CMDS: &str = "stats, shutdown, panic";
 
 /// Flattened percentile view of one histogram in a [`StatsReply`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -196,6 +226,20 @@ pub struct ServeOptions {
     /// Honour in-band `{"cmd":"shutdown"}` (and the `{"cmd":"panic"}`
     /// fault-injection hook).
     pub allow_shutdown: bool,
+    /// Micro-batch size cap. `<= 1` disables batching and the encoder
+    /// cache entirely (the legacy per-worker path).
+    pub batch_max: usize,
+    /// How long the inference engine waits after a micro-batch's first
+    /// job for more jobs to join it.
+    pub batch_window: Duration,
+}
+
+impl ServeOptions {
+    /// Whether the batching engine (and with it the encoder cache) is
+    /// active.
+    fn batching(&self) -> bool {
+        self.batch_max > 1
+    }
 }
 
 /// The per-server metric handles (all on the server's own registry).
@@ -203,6 +247,7 @@ struct ServeMetrics {
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     stats: Arc<Counter>,
+    unknown_cmds: Arc<Counter>,
     connections: Arc<Counter>,
     conn_errors: Arc<Counter>,
     panics: Arc<Counter>,
@@ -210,6 +255,11 @@ struct ServeMetrics {
     active_connections: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     route_len: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_invalidations: Arc<Counter>,
+    cache_hit_rate: Arc<Gauge>,
     pool_hits: Arc<Gauge>,
     pool_misses: Arc<Gauge>,
     pool_hit_rate: Arc<Gauge>,
@@ -221,6 +271,7 @@ impl ServeMetrics {
             requests: registry.counter("serve.requests"),
             errors: registry.counter("serve.errors"),
             stats: registry.counter("serve.stats"),
+            unknown_cmds: registry.counter("serve.unknown_cmds"),
             connections: registry.counter("serve.connections"),
             conn_errors: registry.counter("serve.conn_errors"),
             panics: registry.counter("serve.panics"),
@@ -228,11 +279,39 @@ impl ServeMetrics {
             active_connections: registry.gauge("serve.active_connections"),
             latency_us: registry.histogram("serve.latency_us"),
             route_len: registry.histogram("serve.route_len"),
+            batch_size: registry.histogram("serve.batch_size"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            cache_invalidations: registry.counter("serve.cache.invalidations"),
+            cache_hit_rate: registry.gauge("serve.cache.hit_rate"),
             pool_hits: registry.gauge("tensor.pool.hits"),
             pool_misses: registry.gauge("tensor.pool.misses"),
             pool_hit_rate: registry.gauge("tensor.pool.hit_rate"),
         }
     }
+}
+
+/// One resident entry of the per-courier encoder cache.
+struct CacheEntry {
+    /// The exact request line that produced this entry. Fingerprinting
+    /// the whole line (rather than a digest of the route state) makes
+    /// the invalidation rule trivially sound: *any* observable change —
+    /// an order served, the courier moving, the clock advancing —
+    /// changes the line, misses the cache, and replaces the entry.
+    fingerprint: String,
+    /// The scaled multi-level graph (Feature Extraction Layer output).
+    graph: MultiLevelGraph,
+    /// The encoder activations to replay through the decoders.
+    enc: EncodedQuery,
+}
+
+/// One unit of work for the inference engine: an already-built graph
+/// plus the channel its prediction must come back on. If the engine
+/// drops the sender without replying (batch forward panicked), the
+/// waiting worker answers an internal-error line for just that request.
+struct InferJob {
+    graph: MultiLevelGraph,
+    reply: Sender<(MultiLevelGraph, Prediction, EncodedQuery)>,
 }
 
 /// State shared by the acceptor and every worker.
@@ -256,6 +335,11 @@ struct ServerShared {
     /// contributes deltas of its own service's stats).
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    /// Per-courier encoder cache; `Some` iff batching is enabled.
+    /// Concurrent misses for the same courier may both insert — that is
+    /// a benign lost-update (same fingerprint ⇒ same bits), not an
+    /// invalidation.
+    cache: Option<Mutex<HashMap<usize, Arc<CacheEntry>>>>,
 }
 
 impl ServerShared {
@@ -273,7 +357,24 @@ impl ServerShared {
             allow_shutdown: opts.allow_shutdown,
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
+            cache: opts.batching().then(|| Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Locks the encoder cache (present iff batching is on), recovering
+    /// from poisoning: cache entries are immutable once inserted (only
+    /// whole-entry replacement), so a panicked holder cannot leave a
+    /// half-written entry behind.
+    fn lock_cache(&self) -> Option<std::sync::MutexGuard<'_, HashMap<usize, Arc<CacheEntry>>>> {
+        self.cache.as_ref().map(|c| c.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Refreshes the `serve.cache.hit_rate` gauge from the counters.
+    fn refresh_cache_rate(&self) {
+        let h = self.metrics.cache_hits.get();
+        let m = self.metrics.cache_misses.get();
+        let total = h + m;
+        self.metrics.cache_hit_rate.set(if total == 0 { 0.0 } else { h as f64 / total as f64 });
     }
 
     fn shutting_down(&self) -> bool {
@@ -353,6 +454,9 @@ struct WorkerCtx<'a> {
     replies: Arc<Counter>,
     /// Last `(hits, misses)` reading of this worker's tape pool.
     pool_last: Cell<(u64, u64)>,
+    /// Job channel into the inference engine; `Some` iff batching is
+    /// enabled.
+    infer_tx: Option<Sender<InferJob>>,
 }
 
 /// Binds a listener, prints `listening on <addr>` to `out`, and serves
@@ -373,19 +477,45 @@ pub fn serve(
     writeln!(out, "workers: {workers}")?;
     out.flush()?;
 
+    if opts.batching() {
+        writeln!(
+            out,
+            "batching: max {} / window {} us",
+            opts.batch_max,
+            opts.batch_window.as_micros()
+        )?;
+        out.flush()?;
+    }
+
     let model = Arc::new(model);
     let shared = ServerShared::new(Registry::new(), addr, &opts);
     let (tx, rx) = channel::<TcpStream>();
     // std's Receiver is single-consumer; workers share it behind a
     // mutex, each holding it only for one blocking `recv`.
     let rx = Arc::new(Mutex::new(rx));
+    // Job channel into the inference engine (batching only). The
+    // original sender is dropped after the workers clone theirs, so the
+    // engine's `recv` fails — and the engine exits — exactly when the
+    // last worker has exited.
+    let (job_tx, job_rx) = channel::<InferJob>();
+    let job_tx = opts.batching().then_some(job_tx);
 
     std::thread::scope(|scope| {
+        if opts.batching() {
+            let shared = &shared;
+            let model = Arc::clone(&model);
+            let window = opts.batch_window;
+            let batch_max = opts.batch_max;
+            scope.spawn(move || run_inference_engine(&model, job_rx, window, batch_max, shared));
+        } else {
+            drop(job_rx);
+        }
         for worker_id in 0..workers {
             let rx = Arc::clone(&rx);
             let shared = &shared;
             let dataset = &dataset;
             let service = RtpService::shared(Arc::clone(&model));
+            let infer_tx = job_tx.clone();
             scope.spawn(move || {
                 let ctx = WorkerCtx {
                     service,
@@ -393,6 +523,7 @@ pub fn serve(
                     shared,
                     replies: shared.registry.counter(&format!("serve.worker.{worker_id}.requests")),
                     pool_last: Cell::new((0, 0)),
+                    infer_tx,
                 };
                 loop {
                     // Blocks until a connection arrives or the acceptor
@@ -411,6 +542,9 @@ pub fn serve(
                 }
             });
         }
+        // Workers hold their own clones; dropping the original ties the
+        // engine's lifetime to the workers'.
+        drop(job_tx);
 
         // Acceptor: dispatch until shutdown. The shutdown poke is
         // itself a connection, consumed by the flag check.
@@ -462,6 +596,63 @@ pub fn serve(
         )?;
     }
     Ok(0)
+}
+
+/// The inference engine: collects [`InferJob`]s into micro-batches and
+/// runs one batched forward per batch on its own pooled no-grad tape.
+///
+/// Batch formation: block for the first job, then keep accepting jobs
+/// until `batch_max` are queued or `window` has elapsed since the first
+/// job arrived. A panic inside the batch forward is caught — the tape
+/// is replaced (its pool state is arbitrary mid-panic) and the batch's
+/// reply senders are dropped, so each waiting worker answers an
+/// internal-error line for its own request; the engine keeps serving.
+///
+/// Exits when every worker's job sender is gone.
+fn run_inference_engine(
+    model: &M2G4Rtp,
+    jobs: std::sync::mpsc::Receiver<InferJob>,
+    window: Duration,
+    batch_max: usize,
+    shared: &ServerShared,
+) {
+    let mut tape = Tape::inference();
+    while let Ok(first) = jobs.recv() {
+        let deadline = Instant::now() + window;
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match jobs.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        shared.metrics.batch_size.record(batch.len() as u64);
+        let graphs: Vec<&MultiLevelGraph> = batch.iter().map(|j| &j.graph).collect();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| model.predict_batch_encoded_into(&mut tape, &graphs)));
+        drop(graphs);
+        match result {
+            Ok(preds) => {
+                for (job, (pred, enc)) in batch.into_iter().zip(preds) {
+                    let InferJob { graph, reply } = job;
+                    // A send error only means the worker gave up on the
+                    // connection; nothing to do.
+                    let _ = reply.send((graph, pred, enc));
+                }
+            }
+            Err(_) => {
+                shared.metrics.panics.inc();
+                tape = Tape::inference();
+                // Dropping `batch` drops every reply sender; each
+                // waiting worker sees RecvError and answers an error
+                // line for its own request only.
+            }
+        }
+    }
 }
 
 /// Reads one request line, polling so the shutdown flag and the idle
@@ -589,10 +780,25 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
         Reply::Line(serde_json::to_string(&ServeError { error: msg }).expect("serialise error"))
     };
     let t0 = Instant::now();
-    // Control plane: `{"cmd":...}` (an RtpQuery has no `cmd` key).
-    if let Ok(ctl) = serde_json::from_str::<ControlCmd>(line) {
-        return match ctl.cmd.as_str() {
-            "stats" => {
+    // Parse once, classify structurally: any object carrying a `cmd`
+    // key is a control request — full stop. This closes the old
+    // misclassification hole where an unknown `{"cmd":"…"}` value (or a
+    // line shaped like both a command and a query) fell through to the
+    // prediction/parse-error path and came back as `bad request`.
+    let value = match serde_json::from_str::<serde::Value>(line) {
+        Ok(v) => v,
+        Err(e) => return err_line(format!("bad request: {e}")),
+    };
+    if let Some(cmd) = value.get("cmd") {
+        // Unknown commands get their own named reply and counter:
+        // a typo'd operator command is not a malformed client request,
+        // so it must not pollute `serve.errors`.
+        let unknown_cmd = |msg: String| {
+            metrics.unknown_cmds.inc();
+            Reply::Line(serde_json::to_string(&ServeError { error: msg }).expect("serialise error"))
+        };
+        return match cmd.as_str() {
+            Some("stats") => {
                 metrics.stats.inc();
                 shared.refresh_pool(&ctx.service, &ctx.pool_last);
                 let mut snap = shared.registry.snapshot();
@@ -605,22 +811,27 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
                         .expect("serialise stats"),
                 )
             }
-            "shutdown" if shared.allow_shutdown => {
+            Some("shutdown") if shared.allow_shutdown => {
                 metrics.stats.inc();
                 Reply::ShutdownAck(
                     "{\"ok\":\"shutting down: draining in-flight connections\"}".to_string(),
                 )
             }
-            "shutdown" => {
+            Some("shutdown") => {
                 err_line("shutdown disabled: start the server with --allow-shutdown".into())
             }
             // Fault-injection hook for the isolation tests; rides the
             // same opt-in flag as shutdown.
-            "panic" if shared.allow_shutdown => panic!("induced panic via control command"),
-            other => err_line(format!("unknown cmd `{other}`")),
+            Some("panic") if shared.allow_shutdown => panic!("induced panic via control command"),
+            Some(other) => {
+                unknown_cmd(format!("unknown command `{other}`: known commands are {KNOWN_CMDS}"))
+            }
+            None => unknown_cmd(format!(
+                "unknown command: `cmd` must be a string naming one of {KNOWN_CMDS}"
+            )),
         };
     }
-    match serde_json::from_str::<RtpQuery>(line) {
+    match RtpQuery::from_value(&value) {
         Err(e) => err_line(format!("bad request: {e}")),
         Ok(query) if query.orders.is_empty() => err_line("bad request: empty order set".into()),
         Ok(query) => {
@@ -633,11 +844,18 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
                     ctx.dataset.couriers.len()
                 ));
             };
-            let resp = ctx.service.handle(&ctx.dataset.city, courier, &query);
+            let prediction = match predict_query(ctx, line, courier, &query) {
+                Ok(p) => p,
+                Err(e) => return err_line(e),
+            };
+            let app = match apply_prediction(&query, &prediction) {
+                Ok(app) => app,
+                Err(e) => return err_line(format!("internal error: {e}")),
+            };
             let body = serde_json::to_string(&ServeBody {
-                sorted_orders: resp.sorted_orders,
-                aoi_sequence: resp.aoi_sequence,
-                eta_minutes: resp.etas.iter().map(|e| e.eta_minutes).collect(),
+                eta_minutes: app.etas.iter().map(|e| e.eta_minutes).collect(),
+                sorted_orders: app.sorted_orders,
+                aoi_sequence: app.aoi_sequence,
             })
             .expect("serialise response");
             // The full handle — parse, predict, serialize — measured
@@ -654,4 +872,64 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
             Reply::Line(format!("{{\"latency_ms\":{latency_ms},{}", &body[1..]))
         }
     }
+}
+
+/// The Inference (+ Feature Extraction) Layer for one query, routed by
+/// serve mode:
+///
+/// * batching off — the worker's own lane end to end (graph build +
+///   full forward on its pooled tape);
+/// * batching on, cache hit (same courier, byte-identical line) — the
+///   worker replays the cached encoder activations through the
+///   decoders on its own tape; no graph build, no encoder forward;
+/// * batching on, cache miss — the worker builds the graph, ships it
+///   to the inference engine, blocks on its reply channel, and installs
+///   the returned activations in the cache (replacing a stale entry
+///   counts as `serve.cache.invalidations`).
+///
+/// All three routes produce bit-identical predictions; see the module
+/// docs.
+fn predict_query(
+    ctx: &WorkerCtx<'_>,
+    line: &str,
+    courier: &rtp_sim::Courier,
+    query: &RtpQuery,
+) -> Result<Prediction, String> {
+    let shared = ctx.shared;
+    let metrics = &shared.metrics;
+    let Some(infer_tx) = &ctx.infer_tx else {
+        let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
+        return Ok(ctx.service.predict(&graph));
+    };
+    let cached = shared
+        .lock_cache()
+        .expect("batching implies a cache")
+        .get(&query.courier_id)
+        .filter(|e| e.fingerprint == line)
+        .cloned();
+    if let Some(entry) = cached {
+        metrics.cache_hits.inc();
+        shared.refresh_cache_rate();
+        return Ok(ctx.service.predict_encoded(&entry.graph, &entry.enc));
+    }
+    metrics.cache_misses.inc();
+    shared.refresh_cache_rate();
+    let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
+    let (reply_tx, reply_rx) = channel();
+    infer_tx
+        .send(InferJob { graph, reply: reply_tx })
+        .map_err(|_| "internal error: inference engine unavailable".to_string())?;
+    let (graph, prediction, enc) = reply_rx
+        .recv()
+        .map_err(|_| "internal error: batched inference failed for this request".to_string())?;
+    let entry = Arc::new(CacheEntry { fingerprint: line.to_string(), graph, enc });
+    let mut cache = shared.lock_cache().expect("batching implies a cache");
+    if let Some(old) = cache.insert(query.courier_id, entry) {
+        // Same-fingerprint replacement is a concurrent-miss race, not
+        // a route-state change.
+        if old.fingerprint != line {
+            metrics.cache_invalidations.inc();
+        }
+    }
+    Ok(prediction)
 }

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ModelConfig, Variant};
 use crate::decoder::{RouteDecoder, SortLstm};
-use crate::encoder::{BiLstmEncoder, EdgeEmbedder, Encoder, GatEncoder, NodeEmbedder};
+use crate::encoder::{BiLstmEncoder, EdgeEmbedder, Encoder, GatEncoder, LevelBatch, NodeEmbedder};
 use crate::TIME_SCALE;
 
 /// Inference output for one query: routes and arrival times at both
@@ -28,6 +28,21 @@ pub struct Prediction {
     /// Predicted location arrival gaps in minutes, aligned with
     /// location index.
     pub times: Vec<f32>,
+}
+
+/// The encoder activations of one query, extracted as raw bits so a
+/// serving layer can cache them per courier and replay the (cheap)
+/// decoders without re-running graph feature extraction or the GAT-e
+/// stack. Replaying through [`M2G4Rtp::predict_encoded_into`] is
+/// bit-identical to a cold [`M2G4Rtp::predict_into`] because the
+/// decoders consume the encoder outputs only through these values.
+#[derive(Debug, Clone)]
+pub struct EncodedQuery {
+    /// Location-level encoder output, row-major `[n, d_loc]`.
+    pub x_loc: Vec<f32>,
+    /// AOI-level encoder output `[m, d_aoi]`; `None` for the `NoAoi`
+    /// ablation, which has no AOI encoder.
+    pub x_aoi: Option<Vec<f32>>,
 }
 
 /// Scalar loss components of one training sample (for logging).
@@ -467,9 +482,26 @@ impl M2G4Rtp {
         let store = &self.store;
         let u = self.courier_repr(t, store, g);
         let x_loc = self.encode_loc(t, store, g);
+        let x_aoi = self.aoi_level.as_ref().map(|_| self.encode_aoi(t, store, g));
+        self.decode_levels(t, store, g, u, x_loc, x_aoi)
+    }
 
+    /// The shared greedy decode tail: AOI route/time decoding, the
+    /// guidance pathway (Eq. 34) and the location decoders, starting
+    /// from already-encoded node representations. Every inference entry
+    /// point (cold, batched, cached-activation) funnels through this,
+    /// so equal encoder bits guarantee equal predictions.
+    fn decode_levels(
+        &self,
+        t: &mut Tape,
+        store: &ParamStore,
+        g: &MultiLevelGraph,
+        u: TensorId,
+        x_loc: TensorId,
+        x_aoi: Option<TensorId>,
+    ) -> Prediction {
         let (aoi_route, aoi_times, x_in_loc) = if let Some(aoi) = &self.aoi_level {
-            let x_aoi = self.encode_aoi(t, store, g);
+            let x_aoi = x_aoi.expect("AOI-level model requires AOI activations");
             let aoi_route = aoi.route_dec.decode(t, store, x_aoi, u);
             let y_aoi = self
                 .time_dec_aoi
@@ -501,6 +533,142 @@ impl M2G4Rtp {
                 derive_aoi_outputs(&route, &times, &g.loc_to_aoi, g.aois.n);
             Prediction { aoi_route, aoi_times, route, times }
         }
+    }
+
+    /// Batched courier representations `[B, d_u]`, row `s` bit-identical
+    /// to [`M2G4Rtp::courier_repr`] for `graphs[s]` (embedding lookup
+    /// and the profile constant are both row-local).
+    fn courier_repr_batch(
+        &self,
+        t: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&MultiLevelGraph],
+    ) -> TensorId {
+        let ids: Vec<usize> = graphs.iter().map(|g| g.global.courier_id).collect();
+        let emb = self.courier_emb.forward(t, store, &ids);
+        let mut profile = Vec::with_capacity(graphs.len() * 3);
+        for g in graphs {
+            profile.extend_from_slice(&g.global.cont[..3]);
+        }
+        let profile = t.constant(graphs.len(), 3, profile);
+        t.concat_cols(&[emb, profile])
+    }
+
+    /// Encodes a batch of graphs in stacked forwards and returns, per
+    /// sample, its `(u, x_loc, x_aoi)` tensors sliced out of the stack.
+    fn encode_batch(
+        &self,
+        t: &mut Tape,
+        store: &ParamStore,
+        graphs: &[&MultiLevelGraph],
+    ) -> Vec<(TensorId, TensorId, Option<TensorId>)> {
+        let u_all = self.courier_repr_batch(t, store, graphs);
+        let globals: Vec<&rtp_graph::GlobalFeatures> = graphs.iter().map(|g| &g.global).collect();
+
+        let loc_batch = LevelBatch::new(graphs.iter().map(|g| &g.locations).collect());
+        let x = self.node_emb_loc.embed_batch(t, store, &loc_batch, &globals);
+        let z = self.edge_emb_loc.embed_batch(t, store, &loc_batch);
+        let x_loc_all = self.enc_loc.forward_batch(t, store, x, z, &loc_batch);
+
+        let x_aoi_all = self.aoi_level.as_ref().map(|aoi| {
+            let aoi_batch = LevelBatch::new(graphs.iter().map(|g| &g.aois).collect());
+            let x = aoi.node_emb.embed_batch(t, store, &aoi_batch, &globals);
+            let z = aoi.edge_emb.embed_batch(t, store, &aoi_batch);
+            let x_aoi = aoi.enc.forward_batch(t, store, x, z, &aoi_batch);
+            (x_aoi, aoi_batch)
+        });
+
+        (0..graphs.len())
+            .map(|s| {
+                let u = t.gather_rows(u_all, &[s]);
+                let x_loc = t.gather_rows(x_loc_all, loc_batch.node_indices(s));
+                let x_aoi = x_aoi_all
+                    .as_ref()
+                    .map(|(all, batch)| t.gather_rows(*all, batch.node_indices(s)));
+                (u, x_loc, x_aoi)
+            })
+            .collect()
+    }
+
+    /// Greedy joint inference for a whole micro-batch on one tape.
+    ///
+    /// The encoders run as stacked forwards over all samples (one big
+    /// matmul per weight instead of `B` small ones — the row counts
+    /// where the blocked kernels earn their keep); the sequential
+    /// decoders then run per sample. Each returned prediction is
+    /// **bit-identical** to [`M2G4Rtp::predict_into`] on that graph
+    /// alone: every batched op is either row-local (matmul rows,
+    /// elementwise, gathers) or runs on a per-sample slice carrying the
+    /// same bits.
+    pub fn predict_batch_into(&self, t: &mut Tape, graphs: &[&MultiLevelGraph]) -> Vec<Prediction> {
+        t.clear();
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let store = &self.store;
+        let encoded = self.encode_batch(t, store, graphs);
+        encoded
+            .into_iter()
+            .zip(graphs)
+            .map(|((u, x_loc, x_aoi), g)| self.decode_levels(t, store, g, u, x_loc, x_aoi))
+            .collect()
+    }
+
+    /// Like [`M2G4Rtp::predict_batch_into`], but also extracts each
+    /// sample's encoder activations so a serving layer can cache them
+    /// (see [`EncodedQuery`]).
+    pub fn predict_batch_encoded_into(
+        &self,
+        t: &mut Tape,
+        graphs: &[&MultiLevelGraph],
+    ) -> Vec<(Prediction, EncodedQuery)> {
+        t.clear();
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let store = &self.store;
+        let encoded = self.encode_batch(t, store, graphs);
+        encoded
+            .into_iter()
+            .zip(graphs)
+            .map(|((u, x_loc, x_aoi), g)| {
+                let enc = EncodedQuery {
+                    x_loc: t.data(x_loc).to_vec(),
+                    x_aoi: x_aoi.map(|x| t.data(x).to_vec()),
+                };
+                (self.decode_levels(t, store, g, u, x_loc, x_aoi), enc)
+            })
+            .collect()
+    }
+
+    /// Greedy joint inference replaying cached encoder activations:
+    /// skips feature embedding and the GAT-e stacks entirely and runs
+    /// only the decoders. Bit-identical to [`M2G4Rtp::predict_into`]
+    /// on `g` when `enc` was extracted from the same (graph, weights):
+    /// the decoders see the same constant bits either way.
+    ///
+    /// # Panics
+    /// Panics if `enc`'s shapes do not match `g` (wrong node counts or
+    /// a missing AOI level).
+    pub fn predict_encoded_into(
+        &self,
+        t: &mut Tape,
+        g: &MultiLevelGraph,
+        enc: &EncodedQuery,
+    ) -> Prediction {
+        t.clear();
+        let store = &self.store;
+        let u = self.courier_repr(t, store, g);
+        let n = g.locations.n;
+        assert_eq!(enc.x_loc.len() % n.max(1), 0, "cached x_loc shape mismatch");
+        let x_loc = t.constant(n, enc.x_loc.len() / n, enc.x_loc.clone());
+        let x_aoi = self.aoi_level.as_ref().map(|_| {
+            let data = enc.x_aoi.as_ref().expect("AOI-level model requires cached x_aoi");
+            let m = g.aois.n;
+            assert_eq!(data.len() % m.max(1), 0, "cached x_aoi shape mismatch");
+            t.constant(m, data.len() / m, data.clone())
+        });
+        self.decode_levels(t, store, g, u, x_loc, x_aoi)
     }
 
     /// Joint inference with beam-search route decoding (extension over
@@ -799,6 +967,63 @@ mod tests {
             // and through the restored pipeline end-to-end
             let c = restored.predict_sample(&d, s);
             assert_eq!(a.route, c.route);
+        }
+    }
+
+    /// Bit-level equality for predictions: routes plus exact float bits
+    /// of every time output.
+    fn assert_bit_identical(a: &Prediction, b: &Prediction, ctx: &str) {
+        assert_eq!(a.route, b.route, "{ctx}: routes differ");
+        assert_eq!(a.aoi_route, b.aoi_route, "{ctx}: AOI routes differ");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.times), bits(&b.times), "{ctx}: time bits differ");
+        assert_eq!(bits(&a.aoi_times), bits(&b.aoi_times), "{ctx}: AOI time bits differ");
+    }
+
+    #[test]
+    fn batched_predict_is_bit_identical_to_unbatched_for_all_variants() {
+        for v in Variant::ALL {
+            let (_, model, graphs) = setup(v);
+            let solo: Vec<_> = graphs.iter().map(|g| model.predict(g)).collect();
+            // Batch sizes 1, 2, and the full set, sliced from different
+            // offsets so every sample appears at several batch positions.
+            for bs in [1, 2, graphs.len()] {
+                let mut t = Tape::inference();
+                for start in 0..graphs.len() {
+                    let end = (start + bs).min(graphs.len());
+                    let refs: Vec<&MultiLevelGraph> = graphs[start..end].iter().collect();
+                    let batched = model.predict_batch_into(&mut t, &refs);
+                    for (k, p) in batched.iter().enumerate() {
+                        assert_bit_identical(
+                            p,
+                            &solo[start + k],
+                            &format!("{v:?} batch={bs} sample={}", start + k),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_replay_is_bit_identical_to_cold_predict() {
+        for v in Variant::ALL {
+            let (_, model, graphs) = setup(v);
+            let refs: Vec<&MultiLevelGraph> = graphs.iter().collect();
+            let mut t = Tape::inference();
+            let batched = model.predict_batch_encoded_into(&mut t, &refs);
+            for (g, (p, enc)) in graphs.iter().zip(&batched) {
+                let cold = model.predict(g);
+                assert_bit_identical(p, &cold, &format!("{v:?} batched"));
+                // Replaying the cached activations must reproduce the
+                // cold prediction exactly — this is the cache-hit path.
+                let mut t2 = Tape::inference();
+                let replay = model.predict_encoded_into(&mut t2, g, enc);
+                assert_bit_identical(&replay, &cold, &format!("{v:?} replay"));
+                // And again on a reused (cleared) tape.
+                let replay2 = model.predict_encoded_into(&mut t2, g, enc);
+                assert_bit_identical(&replay2, &cold, &format!("{v:?} replay reuse"));
+            }
         }
     }
 

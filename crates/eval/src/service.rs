@@ -11,7 +11,8 @@
 //! builds one service per worker thread, so concurrent requests never
 //! contend on a tape mutex.
 
-use m2g4rtp::M2G4Rtp;
+use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction};
+use rtp_graph::MultiLevelGraph;
 use rtp_sim::{City, Courier, RtpQuery};
 use rtp_tensor::Tape;
 use serde::{Deserialize, Serialize};
@@ -108,43 +109,129 @@ impl RtpService {
     }
 
     /// Handles one RTP request end to end.
-    pub fn handle(&self, city: &City, courier: &Courier, query: &RtpQuery) -> ServiceResponse {
+    ///
+    /// Returns `Err` when the model's prediction does not line up with
+    /// the query (see [`apply_prediction`]) — the serving layer turns
+    /// that into a structured error reply instead of a panic.
+    pub fn handle(
+        &self,
+        city: &City,
+        courier: &Courier,
+        query: &RtpQuery,
+    ) -> Result<ServiceResponse, String> {
         let t0 = std::time::Instant::now();
         // Feature Extraction Layer
-        let graph = self.model.build_graph(city, courier, query);
+        let graph = self.build_graph(city, courier, query);
         // Inference Layer — pooled no-grad tape
-        let prediction = {
-            let mut tape = self.lock_tape();
-            self.model.predict_into(&mut tape, &graph)
-        };
+        let prediction = self.predict(&graph);
         // Application Layer
-        let sorted_orders = prediction.route.clone();
-        let mut stops_away = vec![0usize; query.orders.len()];
-        for (pos, &i) in prediction.route.iter().enumerate() {
-            stops_away[i] = pos + 1;
+        let app = apply_prediction(query, &prediction)?;
+        Ok(app.into_response(t0.elapsed().as_secs_f64() * 1e3))
+    }
+
+    /// Feature Extraction Layer only: query → scaled multi-level graph.
+    /// Split out so a batching serve layer can extract features on the
+    /// worker thread and ship the graph to a shared inference engine.
+    pub fn build_graph(&self, city: &City, courier: &Courier, query: &RtpQuery) -> MultiLevelGraph {
+        self.model.build_graph(city, courier, query)
+    }
+
+    /// Inference Layer only, on this lane's pooled no-grad tape.
+    pub fn predict(&self, graph: &MultiLevelGraph) -> Prediction {
+        let mut tape = self.lock_tape();
+        self.model.predict_into(&mut tape, graph)
+    }
+
+    /// Inference Layer replaying cached encoder activations on this
+    /// lane's pooled tape — the serve cache's hit path. Bit-identical
+    /// to [`RtpService::predict`] when `enc` came from the same
+    /// (graph, weights); see [`M2G4Rtp::predict_encoded_into`].
+    pub fn predict_encoded(&self, graph: &MultiLevelGraph, enc: &EncodedQuery) -> Prediction {
+        let mut tape = self.lock_tape();
+        self.model.predict_encoded_into(&mut tape, graph, enc)
+    }
+}
+
+/// The Application Layer's products for one request, before latency
+/// stamping: the two launched services of §VI (order sorting + ETA
+/// push messages).
+#[derive(Debug, Clone)]
+pub struct AppOutput {
+    /// Order indices in predicted service sequence.
+    pub sorted_orders: Vec<usize>,
+    /// Predicted AOI visit sequence.
+    pub aoi_sequence: Vec<usize>,
+    /// One ETA message per order in the query.
+    pub etas: Vec<EtaMessage>,
+}
+
+impl AppOutput {
+    /// Stamps the end-to-end latency onto the products.
+    pub fn into_response(self, latency_ms: f64) -> ServiceResponse {
+        ServiceResponse {
+            sorted_orders: self.sorted_orders,
+            aoi_sequence: self.aoi_sequence,
+            etas: self.etas,
+            latency_ms,
         }
-        let etas = (0..query.orders.len())
-            .map(|i| {
-                let eta = prediction.times[i];
+    }
+}
+
+/// The Application Layer: turns a raw [`Prediction`] into the courier's
+/// sorted order list and one ETA push message per order.
+///
+/// The route is validated against the query before any indexing:
+///
+/// - a route position pointing past the query's order list, or visiting
+///   the same order twice, is a **misaligned prediction** and returns a
+///   named `Err` (the serving layer reports it as an internal error
+///   rather than panicking or emitting garbage ETAs);
+/// - an order that is *absent* from the route gets a well-defined
+///   "already served" message (`stops_away == 0`, `eta_minutes == 0.0`)
+///   instead of the old silent `0 stop(s) away` default that read like
+///   an imminent arrival.
+pub fn apply_prediction(query: &RtpQuery, p: &Prediction) -> Result<AppOutput, String> {
+    let n = query.orders.len();
+    // stops_away[i] = Some(position) iff order i appears in the route.
+    let mut stops_away: Vec<Option<usize>> = vec![None; n];
+    for (pos, &i) in p.route.iter().enumerate() {
+        let slot = stops_away.get_mut(i).ok_or_else(|| {
+            format!(
+                "misaligned prediction: route position {pos} points at location {i}, \
+                 but the query has only {n} order(s)"
+            )
+        })?;
+        if slot.is_some() {
+            return Err(format!("misaligned prediction: route visits location {i} twice"));
+        }
+        *slot = Some(pos + 1);
+    }
+    let etas = (0..n)
+        .map(|i| match stops_away[i] {
+            Some(stops) => {
+                let eta = p.times.get(i).copied().unwrap_or(0.0);
                 EtaMessage {
                     order_index: i,
                     eta_minutes: eta,
-                    stops_away: stops_away[i],
+                    stops_away: stops,
                     text: format!(
                         "Your courier is {} stop(s) away and is expected in about {} minutes.",
-                        stops_away[i],
+                        stops,
                         eta.round() as i64
                     ),
                 }
-            })
-            .collect();
-        ServiceResponse {
-            sorted_orders,
-            aoi_sequence: prediction.aoi_route,
-            etas,
-            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
-        }
-    }
+            }
+            None => EtaMessage {
+                order_index: i,
+                eta_minutes: 0.0,
+                stops_away: 0,
+                text: "This order is no longer in the courier's planned route; \
+                       it has likely already been served."
+                    .to_string(),
+            },
+        })
+        .collect();
+    Ok(AppOutput { sorted_orders: p.route.clone(), aoi_sequence: p.aoi_route.clone(), etas })
 }
 
 #[cfg(test)]
@@ -171,10 +258,12 @@ mod tests {
         let service = RtpService::new(model);
         let s = &d.test[0];
         let courier = &d.couriers[s.query.courier_id];
-        let resp = service.handle(&d.city, courier, &s.query);
+        let resp = service.handle(&d.city, courier, &s.query).expect("aligned prediction");
         assert_eq!(resp.sorted_orders.len(), s.query.num_locations());
         assert_eq!(resp.etas.len(), s.query.num_locations());
-        assert!(resp.latency_ms > 0.0);
+        // `>= 0.0`, not `> 0.0`: a tiny model can predict inside one
+        // timer tick on coarse clocks, legitimately reporting 0.0 ms.
+        assert!(resp.latency_ms >= 0.0 && resp.latency_ms.is_finite());
         for e in &resp.etas {
             assert!(e.eta_minutes >= 0.0);
             assert!(e.stops_away >= 1 && e.stops_away <= s.query.num_locations());
@@ -194,7 +283,7 @@ mod tests {
         let service = RtpService::new(model);
         let s = &d.test[0];
         let courier = &d.couriers[s.query.courier_id];
-        let before = service.handle(&d.city, courier, &s.query);
+        let before = service.handle(&d.city, courier, &s.query).expect("aligned prediction");
 
         // Poison the tape mutex the way a panicking handler would:
         // panic while holding the lock.
@@ -206,7 +295,7 @@ mod tests {
         assert!(service.tape.is_poisoned(), "lock must actually be poisoned");
 
         // Every later request must still be served — and identically.
-        let after = service.handle(&d.city, courier, &s.query);
+        let after = service.handle(&d.city, courier, &s.query).expect("aligned prediction");
         assert_eq!(before.sorted_orders, after.sorted_orders);
         assert_eq!(before.aoi_sequence, after.aoi_sequence);
         let bits = |v: &[EtaMessage]| v.iter().map(|e| e.eta_minutes.to_bits()).collect::<Vec<_>>();
@@ -223,10 +312,88 @@ mod tests {
         let b = RtpService::shared(model);
         let s = &d.test[0];
         let courier = &d.couriers[s.query.courier_id];
-        let ra = a.handle(&d.city, courier, &s.query);
-        let rb = b.handle(&d.city, courier, &s.query);
+        let ra = a.handle(&d.city, courier, &s.query).expect("aligned prediction");
+        let rb = b.handle(&d.city, courier, &s.query).expect("aligned prediction");
         assert_eq!(ra.sorted_orders, rb.sorted_orders);
         let bits = |v: &[EtaMessage]| v.iter().map(|e| e.eta_minutes.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&ra.etas), bits(&rb.etas), "separate tapes must not change numerics");
+    }
+
+    #[test]
+    fn cached_encoder_replay_matches_cold_service_path() {
+        let (d, model) = trained(124);
+        let service = RtpService::new(model);
+        let s = &d.test[0];
+        let courier = &d.couriers[s.query.courier_id];
+        let graph = service.build_graph(&d.city, courier, &s.query);
+        let cold = service.predict(&graph);
+        let mut tape = Tape::inference();
+        let batched = service.model().predict_batch_encoded_into(&mut tape, &[&graph]);
+        let (batched_pred, enc) = &batched[0];
+        let hot = service.predict_encoded(&graph, enc);
+        assert_eq!(cold.route, batched_pred.route);
+        assert_eq!(cold.route, hot.route);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&cold.times), bits(&batched_pred.times), "batched must match cold bits");
+        assert_eq!(bits(&cold.times), bits(&hot.times), "cache replay must match cold bits");
+    }
+
+    fn query_with_orders(d: &Dataset, n: usize) -> RtpQuery {
+        let mut q = d.test[0].query.clone();
+        assert!(q.orders.len() >= n, "test query too small");
+        q.orders.truncate(n);
+        q
+    }
+
+    #[test]
+    fn unrouted_order_reports_already_served_not_zero_stops() {
+        let (d, _) = trained(125);
+        let q = query_with_orders(&d, 3);
+        // Route covers orders 2 and 0 only; order 1 was served already.
+        let p = Prediction {
+            route: vec![2, 0],
+            times: vec![5.0, 7.0, 9.0],
+            aoi_route: vec![0],
+            aoi_times: vec![5.0],
+        };
+        let app = apply_prediction(&q, &p).expect("partial route is not an error");
+        assert_eq!(app.etas.len(), 3);
+        let served = &app.etas[1];
+        assert_eq!(served.stops_away, 0);
+        assert_eq!(served.eta_minutes, 0.0);
+        assert!(
+            served.text.contains("no longer in the courier's planned route"),
+            "unrouted order must get the explicit already-served message, got: {}",
+            served.text
+        );
+        // Routed orders still report 1-based stop counts and their ETAs.
+        assert_eq!(app.etas[2].stops_away, 1);
+        assert_eq!(app.etas[0].stops_away, 2);
+        assert_eq!(app.etas[0].eta_minutes, 5.0);
+        assert!(app.etas[0].text.contains("2 stop(s) away"));
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_route_positions_are_named_errors() {
+        let (d, _) = trained(126);
+        let q = query_with_orders(&d, 2);
+        let oob = Prediction {
+            route: vec![0, 5],
+            times: vec![1.0, 2.0],
+            aoi_route: vec![0],
+            aoi_times: vec![1.0],
+        };
+        let err = apply_prediction(&q, &oob).expect_err("index 5 must not be applied");
+        assert!(err.contains("misaligned prediction"), "got: {err}");
+        assert!(err.contains("position 1") && err.contains("location 5"), "got: {err}");
+
+        let dup = Prediction {
+            route: vec![1, 1],
+            times: vec![1.0, 2.0],
+            aoi_route: vec![0],
+            aoi_times: vec![1.0],
+        };
+        let err = apply_prediction(&q, &dup).expect_err("duplicate visit must not be applied");
+        assert!(err.contains("twice"), "got: {err}");
     }
 }

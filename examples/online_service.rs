@@ -30,7 +30,8 @@ fn main() {
     let mut latencies = Vec::new();
     for (k, sample) in dataset.test.iter().take(5).enumerate() {
         let courier = &dataset.couriers[sample.query.courier_id];
-        let resp = service.handle(&dataset.city, courier, &sample.query);
+        let resp =
+            service.handle(&dataset.city, courier, &sample.query).expect("aligned prediction");
         latencies.push(resp.latency_ms);
 
         println!("--- request {k}: courier {} at t={:.0} min ---", courier.id, sample.query.time);
@@ -63,7 +64,8 @@ fn main() {
     let stream: Vec<_> = dataset.test.iter().take(100).collect();
     for sample in &stream {
         let courier = &dataset.couriers[sample.query.courier_id];
-        let resp = service.handle(&dataset.city, courier, &sample.query);
+        let resp =
+            service.handle(&dataset.city, courier, &sample.query).expect("aligned prediction");
         hr3 += hr_at_k(&resp.sorted_orders, &sample.truth.route, 3);
         kc += krc(&resp.sorted_orders, &sample.truth.route);
         for e in &resp.etas {

@@ -71,7 +71,7 @@ fn service_layer_round_trips_a_request() {
     let service = RtpService::new(model);
     let s = &dataset.test[0];
     let courier = &dataset.couriers[s.query.courier_id];
-    let resp = service.handle(&dataset.city, courier, &s.query);
+    let resp = service.handle(&dataset.city, courier, &s.query).expect("aligned prediction");
     assert_eq!(resp.sorted_orders.len(), s.query.num_locations());
     assert_eq!(resp.aoi_sequence.len(), s.query.distinct_aois().len());
     assert!(resp.etas.iter().all(|e| e.eta_minutes.is_finite()));

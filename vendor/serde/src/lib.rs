@@ -178,6 +178,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// A `Value` round-trips through itself, so callers can parse a document
+// once, inspect it structurally (e.g. dispatch on a key), and then
+// finish deserializing with `Deserialize::from_value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
