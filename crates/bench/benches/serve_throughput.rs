@@ -1,12 +1,17 @@
 //! Serve-layer throughput: requests/s of the NDJSON TCP server at 1
 //! worker vs all-core workers, each measured with micro-batching off
-//! and on, with concurrent closed-loop clients.
+//! and on, with concurrent closed-loop clients — plus the `--numerics
+//! fast` and `--numerics quantized` tiers at each worker count so the
+//! latency win of approximate inference is a recorded number, not a
+//! claim.
 //!
 //! Each arm starts a real server on an ephemeral port, drives it with
 //! `CLIENTS` threads doing request/reply round trips, and reads
 //! p50/p99 handle latency plus the encoder-cache hit rate from the
 //! in-band `{"cmd":"stats"}` snapshot (the same histogram the
-//! `latency_ms` response field feeds). Writes
+//! `latency_ms` response field feeds). Every arm serves the *same*
+//! trained weights (one training run, replayed via `SavedModel`), so
+//! tier-to-tier deltas are pure numerics effects. Writes
 //! `results/serve_throughput.json`.
 //!
 //! The client workload repeats one query line per distinct courier, so
@@ -22,10 +27,11 @@ use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
 
 use m2g4rtp::M2G4Rtp;
-use rtp_bench::{bench_dataset, bench_model};
+use rtp_bench::{bench_dataset, bench_meta_json, bench_model};
 use rtp_cli::serve::{serve, ServeOptions, StatsReply};
 use rtp_sim::Dataset;
 use rtp_tensor::parallel::resolve_threads;
+use rtp_tensor::Numerics;
 
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 50;
@@ -36,6 +42,7 @@ const BATCH_WINDOW_US: u64 = 1000;
 struct Row {
     workers: usize,
     batch_max: usize,
+    numerics: Numerics,
     requests: usize,
     requests_per_sec: f64,
     p50_us: u64,
@@ -43,7 +50,13 @@ struct Row {
     cache_hit_rate: f64,
 }
 
-fn measure(workers: usize, batch_max: usize, model: M2G4Rtp, dataset: &Dataset) -> Row {
+fn measure(
+    workers: usize,
+    batch_max: usize,
+    numerics: Numerics,
+    model: M2G4Rtp,
+    dataset: &Dataset,
+) -> Row {
     let (addr_tx, addr_rx) = channel::<String>();
     struct AddrSink(std::sync::mpsc::Sender<String>, Vec<u8>);
     impl Write for AddrSink {
@@ -70,6 +83,7 @@ fn measure(workers: usize, batch_max: usize, model: M2G4Rtp, dataset: &Dataset) 
         allow_shutdown: true,
         batch_max,
         batch_window: Duration::from_micros(BATCH_WINDOW_US),
+        numerics,
         ..Default::default()
     };
     let server = std::thread::spawn(move || {
@@ -144,6 +158,7 @@ fn measure(workers: usize, batch_max: usize, model: M2G4Rtp, dataset: &Dataset) 
     Row {
         workers,
         batch_max,
+        numerics,
         requests,
         requests_per_sec: requests as f64 / elapsed,
         p50_us: lat.p50,
@@ -155,6 +170,10 @@ fn measure(workers: usize, batch_max: usize, model: M2G4Rtp, dataset: &Dataset) 
 fn main() {
     let cores = resolve_threads(0);
     let dataset = bench_dataset();
+    // One training run shared by every arm: the tier columns then
+    // differ only in kernel numerics, never in weights.
+    let saved = bench_model(&dataset).to_saved();
+    let load = || M2G4Rtp::from_saved(saved.clone());
     // Measure 2 workers even on a 1-core box (recorded honestly via
     // cores_available, as in training_throughput).
     let mut settings = vec![1usize, 2, cores];
@@ -162,25 +181,20 @@ fn main() {
     settings.dedup();
 
     // Each worker count gets an unbatched arm (batch_max 1: the legacy
-    // per-worker path) and a batched arm (micro-batching + encoder
-    // cache); pairing them makes the batching speedup direct.
-    let rows: Vec<Row> = settings
-        .iter()
-        .flat_map(|&w| {
-            [
-                measure(w, 1, bench_model(&dataset), &dataset),
-                measure(w, BATCH_MAX, bench_model(&dataset), &dataset),
-            ]
-        })
-        .collect();
-    let base = rows[0].requests_per_sec;
-    for pair in rows.chunks(2) {
-        let (off, on) = (&pair[0], &pair[1]);
+    // per-worker path), a batched arm (micro-batching + encoder cache)
+    // and the two approximate-numerics arms (unbatched, so the tier
+    // delta is not confounded with cache effects).
+    let mut rows: Vec<(Row, f64)> = Vec::new(); // (row, speedup vs exact unbatched same workers)
+    for &w in &settings {
+        let off = measure(w, 1, Numerics::Exact, load(), &dataset);
+        let on = measure(w, BATCH_MAX, Numerics::Exact, load(), &dataset);
+        let fast = measure(w, 1, Numerics::Fast, load(), &dataset);
+        let quant = measure(w, 1, Numerics::Quantized, load(), &dataset);
+        let base_off = off.requests_per_sec;
         println!(
-            "workers {:>2} unbatched: {:>8.1} req/s  ({:.2}x vs 1-worker unbatched, p50 {:.3} ms, p99 {:.3} ms)",
+            "workers {:>2} unbatched: {:>8.1} req/s  (p50 {:.3} ms, p99 {:.3} ms)",
             off.workers,
             off.requests_per_sec,
-            off.requests_per_sec / base,
             off.p50_us as f64 / 1000.0,
             off.p99_us as f64 / 1000.0
         );
@@ -189,36 +203,53 @@ fn main() {
             on.workers,
             on.batch_max,
             on.requests_per_sec,
-            on.requests_per_sec / off.requests_per_sec,
+            on.requests_per_sec / base_off,
             on.cache_hit_rate * 100.0,
             on.p50_us as f64 / 1000.0,
             on.p99_us as f64 / 1000.0
         );
+        for r in [&fast, &quant] {
+            println!(
+                "workers {:>2} {:>9}: {:>8.1} req/s  ({:.2}x vs exact unbatched, p50 {:.3} ms, p99 {:.3} ms)",
+                r.workers,
+                r.numerics.as_str(),
+                r.requests_per_sec,
+                r.requests_per_sec / base_off,
+                r.p50_us as f64 / 1000.0,
+                r.p99_us as f64 / 1000.0
+            );
+        }
+        let on_speedup = on.requests_per_sec / base_off;
+        let fast_speedup = fast.requests_per_sec / base_off;
+        let quant_speedup = quant.requests_per_sec / base_off;
+        rows.push((off, 1.0));
+        rows.push((on, on_speedup));
+        rows.push((fast, fast_speedup));
+        rows.push((quant, quant_speedup));
     }
 
+    let base = rows[0].0.requests_per_sec;
     let entries: Vec<String> = rows
-        .chunks(2)
-        .flat_map(|pair| {
-            let (off, on) = (&pair[0], &pair[1]);
-            let fmt = |r: &Row, speedup_vs_unbatched: f64| {
-                format!(
-                    "    {{\"workers\": {}, \"batch_max\": {}, \"requests\": {}, \"requests_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \"speedup_vs_unbatched\": {:.3}, \"cache_hit_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}}}",
-                    r.workers,
-                    r.batch_max,
-                    r.requests,
-                    r.requests_per_sec,
-                    r.requests_per_sec / base,
-                    speedup_vs_unbatched,
-                    r.cache_hit_rate,
-                    r.p50_us,
-                    r.p99_us
-                )
-            };
-            [fmt(off, 1.0), fmt(on, on.requests_per_sec / off.requests_per_sec)]
+        .iter()
+        .map(|(r, speedup_vs_unbatched)| {
+            format!(
+                "    {{\"workers\": {}, \"batch_max\": {}, \"numerics\": \"{}\", \"requests\": {}, \"requests_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \"speedup_vs_unbatched\": {:.3}, \"cache_hit_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}}}",
+                r.workers,
+                r.batch_max,
+                r.numerics.as_str(),
+                r.requests,
+                r.requests_per_sec,
+                r.requests_per_sec / base,
+                speedup_vs_unbatched,
+                r.cache_hit_rate,
+                r.p50_us,
+                r.p99_us
+            )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"batch_window_us\": {BATCH_WINDOW_US},\n  \"cores_available\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"bench_meta\": {},\n  \"clients\": {CLIENTS},\n  \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"batch_window_us\": {BATCH_WINDOW_US},\n  \"cores_available\": {cores},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        bench_meta_json(),
         entries.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -1,17 +1,23 @@
 //! Matmul-kernel and tape-reuse micro-benchmarks for the tensor
 //! engine's hot loop.
 //!
-//! Two measurements, written to `results/tensor_kernels.json`:
+//! Three measurements, written to `results/tensor_kernels.json`:
 //!
 //! 1. **Kernel sweep** — square-matmul GFLOP-rate of the blocked,
-//!    B-packed forward kernel vs the naive reference, plus both
-//!    backward accumulation kernels, at n ∈ {16, 32, 64, 128, 256}.
+//!    B-packed forward kernel vs the naive reference, both backward
+//!    accumulation kernels, and the fast (FMA) and quantized (i8)
+//!    inference tiers, at n ∈ {16, 32, 64, 128, 256}.
 //! 2. **Tape reuse** — forward+backward throughput of a small MLP-like
 //!    program on a fresh `Tape::new()` per iteration vs one pooled
 //!    tape reset with `Tape::clear()`, and the pool hit rate showing
 //!    how many heap allocations the pool absorbs.
+//! 3. **Op profile** — the per-op call/flop/byte counters the tensor
+//!    layer publishes to the global metrics registry, accumulated over
+//!    a batch of real end-to-end predictions, so the bench records
+//!    *where* the model's arithmetic actually goes.
 
-use rtp_tensor::{kernels, GradBuffer, ParamStore, Tape};
+use rtp_bench::{bench_dataset, bench_meta_json, bench_model};
+use rtp_tensor::{kernels, GradBuffer, Numerics, ParamStore, QuantizedMatrix, Tape};
 use std::time::Instant;
 
 /// Deterministic pseudo-random fill (no rand dependency needed here).
@@ -57,6 +63,8 @@ struct KernelRow {
     blocked_gflops: f64,
     grad_a_gflops: f64,
     grad_b_gflops: f64,
+    fast_gflops: f64,
+    q8_gflops: f64,
     speedup: f64,
 }
 
@@ -71,9 +79,12 @@ fn kernel_sweep() -> Vec<KernelRow> {
             fill(&mut a, 1 + n as u32);
             fill(&mut b, 2 + n as u32);
             let flops = 2.0 * (n as f64).powi(3);
+            let qb = QuantizedMatrix::from_weights(&b, n, n);
 
             let naive = time_per_call(|| kernels::matmul_naive(&a, &b, &mut out, n, n, n));
             let blocked = time_per_call(|| kernels::matmul(&a, &b, &mut out, n, n, n));
+            let fast = time_per_call(|| kernels::matmul_fast(&a, &b, &mut out, n, n, n));
+            let q8 = time_per_call(|| rtp_tensor::simd::matmul_q8(&a, &qb, &mut out, n, n, n));
             let grad_a = time_per_call(|| {
                 acc.iter_mut().for_each(|x| *x = 0.0);
                 kernels::matmul_grad_a(&a, &b, &mut acc, n, n, n);
@@ -88,15 +99,49 @@ fn kernel_sweep() -> Vec<KernelRow> {
                 blocked_gflops: flops / blocked / 1e9,
                 grad_a_gflops: flops / grad_a / 1e9,
                 grad_b_gflops: flops / grad_b / 1e9,
+                fast_gflops: flops / fast / 1e9,
+                q8_gflops: flops / q8 / 1e9,
                 speedup: naive / blocked,
             };
             println!(
-                "n={:>3}: naive {:>6.2} GF/s  blocked {:>6.2} GF/s  ({:.2}x)  gA {:>6.2}  gB {:>6.2}",
-                row.n, row.naive_gflops, row.blocked_gflops, row.speedup, row.grad_a_gflops, row.grad_b_gflops
+                "n={:>3}: naive {:>6.2} GF/s  blocked {:>6.2} GF/s  ({:.2}x)  fast {:>6.2}  q8 {:>6.2}  gA {:>6.2}  gB {:>6.2}",
+                row.n, row.naive_gflops, row.blocked_gflops, row.speedup, row.fast_gflops,
+                row.q8_gflops, row.grad_a_gflops, row.grad_b_gflops
             );
             row
         })
         .collect()
+}
+
+/// Runs a batch of real predictions on a fresh inference tape and
+/// returns the `tensor.*` counter deltas from the global registry as
+/// formatted JSON lines. This is the per-op profile: calls, flops and
+/// bytes for gather/softmax/add_outer/LSTM plus matmul kernel calls.
+fn op_profile() -> (usize, Vec<String>) {
+    let dataset = bench_dataset();
+    let model = bench_model(&dataset);
+    let before = rtp_obs::metrics::global().snapshot();
+    let mut tape = model.inference_tape(Numerics::Exact);
+    let queries = dataset.test.len().min(32);
+    for s in dataset.test.iter().take(queries) {
+        let courier = &dataset.couriers[s.query.courier_id];
+        let g = model.build_graph(&dataset.city, courier, &s.query);
+        model.predict_into(&mut tape, &g);
+    }
+    let after = rtp_obs::metrics::global().snapshot();
+    let lines: Vec<String> = after
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("tensor."))
+        .filter_map(|(name, &v)| {
+            let delta = v - before.counters.get(name).copied().unwrap_or(0);
+            (delta > 0).then(|| format!("    \"{name}\": {delta}"))
+        })
+        .collect();
+    for l in &lines {
+        println!("{}", l.trim_start());
+    }
+    (queries, lines)
 }
 
 /// One forward+backward pass of a tanh MLP; sized small enough that
@@ -168,18 +213,22 @@ fn main() {
     let rows = kernel_sweep();
     println!("== tape reuse ==");
     let reuse = tape_reuse();
+    println!("== op profile ==");
+    let (profile_queries, profile_lines) = op_profile();
 
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"n\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}, \"grad_a_gflops\": {:.3}, \"grad_b_gflops\": {:.3}}}",
-                r.n, r.naive_gflops, r.blocked_gflops, r.speedup, r.grad_a_gflops, r.grad_b_gflops
+                "    {{\"n\": {}, \"naive_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}, \"grad_a_gflops\": {:.3}, \"grad_b_gflops\": {:.3}, \"fast_gflops\": {:.3}, \"q8_gflops\": {:.3}}}",
+                r.n, r.naive_gflops, r.blocked_gflops, r.speedup, r.grad_a_gflops,
+                r.grad_b_gflops, r.fast_gflops, r.q8_gflops
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"tensor_kernels\",\n  \"matmul_sweep\": [\n{}\n  ],\n  \"tape_reuse\": {{\n    \"fresh_passes_per_sec\": {:.1},\n    \"reused_passes_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \"pool_hits\": {},\n    \"pool_misses\": {},\n    \"pool_hit_rate\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"tensor_kernels\",\n  \"bench_meta\": {},\n  \"matmul_sweep\": [\n{}\n  ],\n  \"tape_reuse\": {{\n    \"fresh_passes_per_sec\": {:.1},\n    \"reused_passes_per_sec\": {:.1},\n    \"speedup\": {:.3},\n    \"pool_hits\": {},\n    \"pool_misses\": {},\n    \"pool_hit_rate\": {:.4}\n  }},\n  \"op_profile\": {{\n    \"queries\": {profile_queries},\n{}\n  }}\n}}\n",
+        bench_meta_json(),
         entries.join(",\n"),
         reuse.fresh_passes_per_sec,
         reuse.reused_passes_per_sec,
@@ -187,6 +236,7 @@ fn main() {
         reuse.pool_hits,
         reuse.pool_misses,
         reuse.pool_hits as f64 / (reuse.pool_hits + reuse.pool_misses).max(1) as f64,
+        profile_lines.join(",\n"),
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&out).expect("create results dir");

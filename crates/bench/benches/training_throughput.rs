@@ -94,7 +94,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"training_throughput\",\n  \"epochs\": {EPOCHS},\n  \"cores_available\": {cores},\n  \"loss_bit_identical_across_threads\": {identical},\n  \"checkpoint_overhead_frac\": {overhead_frac:.4},\n  \"train_seconds_plain\": {plain_s:.4},\n  \"train_seconds_checkpointed\": {ckpt_s:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"training_throughput\",\n  \"bench_meta\": {},\n  \"epochs\": {EPOCHS},\n  \"cores_available\": {cores},\n  \"loss_bit_identical_across_threads\": {identical},\n  \"checkpoint_overhead_frac\": {overhead_frac:.4},\n  \"train_seconds_plain\": {plain_s:.4},\n  \"train_seconds_checkpointed\": {ckpt_s:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rtp_bench::bench_meta_json(),
         entries.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -1,0 +1,39 @@
+//! Captures toolchain facts at compile time for `bench_meta_json()`:
+//! the rustc version string and the `-C target-cpu` the workspace
+//! builds with (from `.cargo/config.toml` via
+//! `CARGO_ENCODED_RUSTFLAGS`). Runtime facts (nproc, detected CPU
+//! features) are read in the helper itself.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=BENCH_RUSTC_VERSION={version}");
+
+    // RUSTFLAGS items are \x1f-separated; `-C target-cpu=X` may arrive
+    // as one item or as a ["-C", "target-cpu=X"] pair.
+    let flags = std::env::var("CARGO_ENCODED_RUSTFLAGS").unwrap_or_default();
+    let items: Vec<&str> = flags.split('\x1f').collect();
+    let mut target_cpu = "generic".to_string();
+    let mut i = 0;
+    while i < items.len() {
+        let item = items[i];
+        if let Some(v) = item.strip_prefix("-Ctarget-cpu=") {
+            target_cpu = v.to_string();
+        } else if item == "-C" && i + 1 < items.len() {
+            if let Some(v) = items[i + 1].strip_prefix("target-cpu=") {
+                target_cpu = v.to_string();
+            }
+        }
+        i += 1;
+    }
+    println!("cargo:rustc-env=BENCH_TARGET_CPU={target_cpu}");
+    println!("cargo:rerun-if-env-changed=CARGO_ENCODED_RUSTFLAGS");
+}

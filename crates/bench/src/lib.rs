@@ -28,6 +28,24 @@ pub fn bench_model(dataset: &Dataset) -> M2G4Rtp {
     model
 }
 
+/// Machine/toolchain metadata embedded in every bench result JSON so
+/// entries in `results/history.jsonl` are comparable across boxes:
+/// logical cores, the CPU features the kernels dispatch on, the rustc
+/// that built the bench and the `-C target-cpu` it was built with.
+/// Returns a JSON object as a string (the benches hand-format their
+/// output).
+pub fn bench_meta_json() -> String {
+    let nproc = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let features: Vec<String> =
+        rtp_tensor::simd::detected_features().iter().map(|f| format!("\"{f}\"")).collect();
+    format!(
+        "{{\"nproc\": {nproc}, \"cpu_features\": [{}], \"rustc\": \"{}\", \"target_cpu\": \"{}\"}}",
+        features.join(", "),
+        env!("BENCH_RUSTC_VERSION"),
+        env!("BENCH_TARGET_CPU"),
+    )
+}
+
 /// Picks the test sample whose location count is closest to `n`.
 pub fn sample_near_n(dataset: &Dataset, n: usize) -> &rtp_sim::RtpSample {
     dataset

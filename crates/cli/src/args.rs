@@ -60,6 +60,8 @@ pub enum Command {
         model: String,
         /// Dataset JSON path.
         dataset: String,
+        /// Numerics tier: "exact", "fast" or "quantized".
+        numerics: String,
     },
     /// Serve the model over TCP (newline-delimited JSON).
     Serve {
@@ -81,6 +83,8 @@ pub enum Command {
         batch_max: usize,
         /// Micro-batch collection window, microseconds.
         batch_window_us: u64,
+        /// Numerics tier: "exact", "fast" or "quantized".
+        numerics: String,
     },
     /// Print usage.
     Help,
@@ -107,10 +111,10 @@ USAGE:
   rtp train    --dataset <dataset.json> [--epochs N] [--variant V] [--seed N] [--threads N] [--log-json spans.jsonl]
                [--checkpoint-dir DIR] [--resume] --out <model.json>
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
-  rtp evaluate --model <model.json> --dataset <dataset.json>
+  rtp evaluate --model <model.json> --dataset <dataset.json> [--numerics exact|fast|quantized]
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
                [--workers N] [--idle-timeout-secs S] [--allow-shutdown]
-               [--batch-max N] [--batch-window-us U]
+               [--batch-max N] [--batch-window-us U] [--numerics exact|fast|quantized]
   rtp help
 ";
 
@@ -146,6 +150,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut log_json = String::new();
     let mut checkpoint_dir = String::new();
     let mut resume = false;
+    let mut numerics = "exact".to_string();
 
     while let Some(flag) = it.next() {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
@@ -189,6 +194,14 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             "--log-json" => log_json = v(&mut it)?,
             "--checkpoint-dir" => checkpoint_dir = v(&mut it)?,
             "--resume" => resume = true,
+            "--numerics" => {
+                numerics = v(&mut it)?;
+                if !["exact", "fast", "quantized"].contains(&numerics.as_str()) {
+                    return Err(ParseError(format!(
+                        "unknown numerics tier `{numerics}` (exact|fast|quantized)"
+                    )));
+                }
+            }
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -243,7 +256,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
         "evaluate" => {
             require("model", &model)?;
             require("dataset", &dataset)?;
-            Command::Evaluate { model, dataset }
+            Command::Evaluate { model, dataset, numerics }
         }
         "serve" => {
             require("model", &model)?;
@@ -261,6 +274,7 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 allow_shutdown,
                 batch_max,
                 batch_window_us,
+                numerics,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -453,6 +467,30 @@ mod tests {
         assert!(
             parse(&["serve", "--model", "m", "--dataset", "d", "--batch-window-us", "-5"]).is_err()
         );
+    }
+
+    #[test]
+    fn parses_numerics_flag() {
+        // Default is the bit-exact tier on both subcommands.
+        let cli = parse(&["evaluate", "--model", "m", "--dataset", "d"]).unwrap();
+        assert!(
+            matches!(cli.command, Command::Evaluate { ref numerics, .. } if numerics == "exact")
+        );
+        let cli = parse(&["serve", "--model", "m", "--dataset", "d"]).unwrap();
+        assert!(matches!(cli.command, Command::Serve { ref numerics, .. } if numerics == "exact"));
+
+        for tier in ["exact", "fast", "quantized"] {
+            let cli =
+                parse(&["serve", "--model", "m", "--dataset", "d", "--numerics", tier]).unwrap();
+            assert!(matches!(cli.command, Command::Serve { ref numerics, .. } if numerics == tier));
+            let cli =
+                parse(&["evaluate", "--model", "m", "--dataset", "d", "--numerics", tier]).unwrap();
+            assert!(
+                matches!(cli.command, Command::Evaluate { ref numerics, .. } if numerics == tier)
+            );
+        }
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--numerics", "f16"]).is_err());
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--numerics"]).is_err());
     }
 
     #[test]

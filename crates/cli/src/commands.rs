@@ -144,17 +144,18 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             )?;
             Ok(0)
         }
-        Command::Evaluate { model, dataset } => {
+        Command::Evaluate { model, dataset, numerics } => {
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
+            let numerics = parse_numerics(&numerics);
             let mut racc = RouteMetricAccumulator::new();
             let mut tacc = TimeMetricAccumulator::new();
             for s in &dataset.test {
-                let p = model.predict_sample(&dataset, s);
+                let p = model.predict_sample_with(&dataset, s, numerics);
                 racc.add(&p.route, &s.truth.route);
                 tacc.add(&p.times, &s.truth.arrival, s.query.num_locations());
             }
-            writeln!(out, "test split: {} samples", dataset.test.len())?;
+            writeln!(out, "test split: {} samples ({} numerics)", dataset.test.len(), numerics)?;
             for b in Bucket::ALL {
                 if let (Some(r), Some(t)) = (racc.finish(b), tacc.finish(b)) {
                     writeln!(
@@ -176,6 +177,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             allow_shutdown,
             batch_max,
             batch_window_us,
+            numerics,
         } => {
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
@@ -188,10 +190,15 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 allow_shutdown,
                 batch_max,
                 batch_window: std::time::Duration::from_micros(batch_window_us),
+                numerics: parse_numerics(&numerics),
             };
             serve::serve(model, dataset, opts, out)
         }
     }
+}
+
+fn parse_numerics(s: &str) -> rtp_tensor::Numerics {
+    s.parse().unwrap_or_else(|e| unreachable!("parser validated --numerics: {e}"))
 }
 
 fn load_dataset(path: &str) -> std::io::Result<Dataset> {

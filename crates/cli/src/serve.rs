@@ -103,7 +103,7 @@ use rtp_graph::MultiLevelGraph;
 use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 use rtp_sim::{Dataset, RtpQuery};
 use rtp_tensor::parallel::resolve_threads;
-use rtp_tensor::Tape;
+use rtp_tensor::Numerics;
 use serde::{Deserialize, Serialize};
 
 /// How often a blocked connection read wakes up to check the shutdown
@@ -232,6 +232,10 @@ pub struct ServeOptions {
     /// How long the inference engine waits after a micro-batch's first
     /// job for more jobs to join it.
     pub batch_window: Duration,
+    /// Numerics tier for the inference tapes (`--numerics`). Replies
+    /// from non-default tiers are tagged with a `"numerics"` field so
+    /// clients can tell approximate answers from bit-exact ones.
+    pub numerics: Numerics,
 }
 
 impl ServeOptions {
@@ -506,7 +510,10 @@ pub fn serve(
             let model = Arc::clone(&model);
             let window = opts.batch_window;
             let batch_max = opts.batch_max;
-            scope.spawn(move || run_inference_engine(&model, job_rx, window, batch_max, shared));
+            let numerics = opts.numerics;
+            scope.spawn(move || {
+                run_inference_engine(&model, job_rx, window, batch_max, numerics, shared)
+            });
         } else {
             drop(job_rx);
         }
@@ -514,7 +521,7 @@ pub fn serve(
             let rx = Arc::clone(&rx);
             let shared = &shared;
             let dataset = &dataset;
-            let service = RtpService::shared(Arc::clone(&model));
+            let service = RtpService::with_numerics(Arc::clone(&model), opts.numerics);
             let infer_tx = job_tx.clone();
             scope.spawn(move || {
                 let ctx = WorkerCtx {
@@ -614,9 +621,10 @@ fn run_inference_engine(
     jobs: std::sync::mpsc::Receiver<InferJob>,
     window: Duration,
     batch_max: usize,
+    numerics: Numerics,
     shared: &ServerShared,
 ) {
-    let mut tape = Tape::inference();
+    let mut tape = model.inference_tape(numerics);
     while let Ok(first) = jobs.recv() {
         let deadline = Instant::now() + window;
         let mut batch = vec![first];
@@ -646,7 +654,7 @@ fn run_inference_engine(
             }
             Err(_) => {
                 shared.metrics.panics.inc();
-                tape = Tape::inference();
+                tape = model.inference_tape(numerics);
                 // Dropping `batch` drops every reply sender; each
                 // waiting worker sees RecvError and answers an error
                 // line for its own request only.
@@ -869,7 +877,18 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
             let latency_ms = latency_us as f64 / 1000.0;
             // Splice latency into the serialized body ({"a":.. ->
             // {"latency_ms":X,"a":..): field order is free in JSON.
-            Reply::Line(format!("{{\"latency_ms\":{latency_ms},{}", &body[1..]))
+            // Non-default numerics tiers also tag the reply so a client
+            // can tell approximate answers apart; the default tier
+            // keeps the exact reply shape of earlier versions.
+            match ctx.service.numerics() {
+                Numerics::Exact => {
+                    Reply::Line(format!("{{\"latency_ms\":{latency_ms},{}", &body[1..]))
+                }
+                tier => Reply::Line(format!(
+                    "{{\"latency_ms\":{latency_ms},\"numerics\":\"{tier}\",{}",
+                    &body[1..]
+                )),
+            }
         }
     }
 }

@@ -4,26 +4,31 @@
 //! accumulations of `C = A @ B`:
 //!
 //! * [`matmul`] — `out = A @ B` (overwrite), B packed into column
-//!   panels with a register-tile accumulator and an unrolled inner
-//!   loop.
-//! * [`matmul_grad_a`] — `gA += G @ Bᵀ`. Row-major `G @ Bᵀ` is a grid
-//!   of dot products between *contiguous* rows of `G` and `B`; the
-//!   kernel runs four independent dot chains at a time for ILP.
+//!   panels with a register-tile accumulator; full-width panels run
+//!   the AVX2 body in [`crate::simd`] when the CPU has it.
+//! * [`matmul_grad_a`] — `gA += G @ Bᵀ`. B is transposed once per call
+//!   into a `[c,k]` scratch so each `g != 0` term becomes a contiguous
+//!   saxpy into a per-row accumulator — the same memory shape as the
+//!   forward kernel, instead of the strided dot grid it used to be.
 //! * [`matmul_grad_b`] — `gB += Aᵀ @ G`, a blocked saxpy accumulation
 //!   that keeps a small panel of `gB` rows hot while streaming `G`.
 //!
-//! **Determinism contract.** Every kernel performs, for each output
-//! element, *exactly* the same sequence of float operations as its
-//! `*_naive` reference (single left-to-right accumulator over the
-//! contraction index; same zero-skip conditions). Blocking and packing
-//! only reorder *independent* elements, never the summands of one
-//! element, so results are bit-identical to the reference — which is
-//! what keeps `tests/determinism.rs` meaningful and is enforced by the
-//! `kernel_props` proptests.
+//! [`matmul_fast`] is the opt-in fast-tier forward (FMA contraction,
+//! see `crate::simd`); it is never called where gradients flow.
+//!
+//! **Determinism contract.** Every default kernel performs, for each
+//! output element, *exactly* the same sequence of float operations as
+//! its `*_naive` reference (single left-to-right accumulator over the
+//! contraction index; same zero-skip conditions). Blocking, packing
+//! and AVX2 lanes only reorder *independent* elements, never the
+//! summands of one element, so results are bit-identical to the
+//! reference — which is what keeps `tests/determinism.rs` meaningful
+//! and is enforced by the `kernel_props` proptests.
 //!
 //! The `*_naive` references are kept `pub` on purpose: the equivalence
 //! proptests and the `tensor_kernels` bench both compare against them.
 
+use crate::simd;
 use std::cell::RefCell;
 
 /// Column-tile width of the forward kernel's register accumulator.
@@ -98,6 +103,14 @@ pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usiz
                 pack.extend_from_slice(&b[kk * c + jb..kk * c + jb + nr]);
             }
             if nr == NR {
+                #[cfg(target_arch = "x86_64")]
+                if simd::have_avx2() {
+                    // SAFETY: AVX2 just checked; pack is k×NR and the
+                    // out/a bounds hold by the matmul contract.
+                    unsafe { simd::fwd_panel_avx2(a, &pack, out, r, k, c, jb) };
+                    jb += nr;
+                    continue;
+                }
                 // 4×NR register tile: four rows of A share each packed-B
                 // load, giving eight independent vector accumulators so
                 // the FMA latency chains overlap. Each row's acc is still
@@ -161,6 +174,30 @@ pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usiz
     });
 }
 
+/// Fast-tier forward product `out = A @ B` (overwrite): FMA
+/// contraction and multi-accumulator dots via [`crate::simd`]. NOT
+/// bit-identical to [`matmul_naive`] — rounding differs (typically it
+/// is *more* accurate) — so this is only reachable through the opt-in
+/// `Numerics::Fast`/`Numerics::Quantized` inference tiers, never where
+/// gradients flow. Falls back to the exact blocked kernel when the CPU
+/// lacks AVX2+FMA, so the fast tier is exact-by-fallback there.
+pub fn matmul_fast(a: &[f32], b: &[f32], out: &mut [f32], r: usize, k: usize, c: usize) {
+    debug_assert_eq!(a.len(), r * k);
+    debug_assert_eq!(b.len(), k * c);
+    debug_assert_eq!(out.len(), r * c);
+    rtp_obs::counter!("tensor.matmul.fwd_fast").inc();
+    if r == 0 || c == 0 {
+        return;
+    }
+    if k == 0 {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        return;
+    }
+    if !simd::matmul_fast(a, b, out, r, k, c) {
+        matmul(a, b, out, r, k, c);
+    }
+}
+
 /// Reference backward accumulation `gA += G @ Bᵀ` (`G [r,c]`,
 /// `B [k,c]`, `gA [r,k]`): per element, a zero-initialised dot over
 /// `j` (skipping `g == 0` terms) added once into `gA`.
@@ -184,50 +221,60 @@ pub fn matmul_grad_a_naive(g: &[f32], b: &[f32], ga: &mut [f32], r: usize, k: us
     }
 }
 
-/// Blocked `gA += G @ Bᵀ`: four independent dot-product chains per
-/// pass share each load of the `G` row. Bit-identical to
+thread_local! {
+    /// Per-thread scratch for [`matmul_grad_a`]: `(Bᵀ [c,k], acc [k])`.
+    static GRAD_A_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Panel-wise `gA += G @ Bᵀ`, bit-identical to
 /// [`matmul_grad_a_naive`].
+///
+/// The old kernel walked `B` column-wise (stride `c`) inside dot
+/// products, so every inner step was a strided load — ~9× slower than
+/// the forward kernel. Here `B` is transposed **once per call** into a
+/// `[c,k]` scratch; for each output row, a zeroed accumulator row
+/// collects `acc[kk] += g[i,j] * Bᵀ[j,kk]` as contiguous saxpies
+/// (vectorized across the independent `kk` outputs via
+/// [`crate::simd::axpy`]) and lands in `gA` with one final add.
+///
+/// Per element `(i,kk)` that is *exactly* the reference sequence: a
+/// zero-initialised left-to-right sum over ascending `j` with the same
+/// `g != 0` skip, then a single `+=` into `gA` — only independent
+/// elements were reordered, so bits match with or without AVX2.
 pub fn matmul_grad_a(g: &[f32], b: &[f32], ga: &mut [f32], r: usize, k: usize, c: usize) {
     debug_assert_eq!(g.len(), r * c);
     debug_assert_eq!(b.len(), k * c);
     debug_assert_eq!(ga.len(), r * k);
     rtp_obs::counter!("tensor.matmul.grad_a").inc();
-    for i in 0..r {
-        let grow = &g[i * c..(i + 1) * c];
-        let garow = &mut ga[i * k..(i + 1) * k];
-        let mut kk = 0;
-        while kk + 4 <= k {
-            let b0 = &b[kk * c..(kk + 1) * c];
-            let b1 = &b[(kk + 1) * c..(kk + 2) * c];
-            let b2 = &b[(kk + 2) * c..(kk + 3) * c];
-            let b3 = &b[(kk + 3) * c..(kk + 4) * c];
-            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    if r == 0 || k == 0 {
+        return;
+    }
+    GRAD_A_SCRATCH.with(|s| {
+        let (bt, acc) = &mut *s.borrow_mut();
+        bt.clear();
+        bt.resize(c * k, 0.0);
+        for kk in 0..k {
+            let brow = &b[kk * c..(kk + 1) * c];
+            for (j, &bv) in brow.iter().enumerate() {
+                bt[j * k + kk] = bv;
+            }
+        }
+        for i in 0..r {
+            let grow = &g[i * c..(i + 1) * c];
+            let garow = &mut ga[i * k..(i + 1) * k];
+            acc.clear();
+            acc.resize(k, 0.0);
             for (j, &gv) in grow.iter().enumerate() {
                 if gv != 0.0 {
-                    a0 += gv * b0[j];
-                    a1 += gv * b1[j];
-                    a2 += gv * b2[j];
-                    a3 += gv * b3[j];
+                    simd::axpy(acc, &bt[j * k..(j + 1) * k], gv);
                 }
             }
-            garow[kk] += a0;
-            garow[kk + 1] += a1;
-            garow[kk + 2] += a2;
-            garow[kk + 3] += a3;
-            kk += 4;
-        }
-        while kk < k {
-            let brow = &b[kk * c..(kk + 1) * c];
-            let mut acc = 0.0f32;
-            for (&gv, &bv) in grow.iter().zip(brow) {
-                if gv != 0.0 {
-                    acc += gv * bv;
-                }
+            for (gout, &av) in garow.iter_mut().zip(acc.iter()) {
+                *gout += av;
             }
-            garow[kk] += acc;
-            kk += 1;
         }
-    }
+    });
 }
 
 /// Reference backward accumulation `gB += Aᵀ @ G` (`A [r,k]`,

@@ -56,9 +56,11 @@ pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod parallel;
+pub mod simd;
 
 pub use params::{GradBuffer, GradSink, ParamId, ParamStore};
-pub use tape::{Tape, TensorId};
+pub use simd::{QuantSet, QuantizedMatrix};
+pub use tape::{Numerics, Tape, TensorId};
 
 /// Numerically compares two f32 slices within a tolerance; used widely by
 /// this workspace's tests.

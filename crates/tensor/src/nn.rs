@@ -136,6 +136,11 @@ impl LstmCell {
         state: (TensorId, TensorId),
     ) -> (TensorId, TensorId) {
         let (h_prev, c_prev) = state;
+        rtp_obs::counter!("tensor.op.lstm_cell.calls").inc();
+        // pointwise gate work only (4 activations + 3 muls + 2 adds +
+        // bias over 4n lanes ≈ 24n flops); the two matmuls are counted
+        // by the matmul kernels themselves.
+        rtp_obs::counter!("tensor.op.lstm_cell.flops").add(24 * self.hidden as u64);
         let wx = t.param(store, self.wx);
         let wh = t.param(store, self.wh);
         let b = t.param(store, self.b);

@@ -22,8 +22,64 @@
 //! skips gradient allocation and op-payload recording entirely;
 //! [`Tape::backward`] on such a tape panics.
 
+use std::sync::Arc;
+
 use crate::kernels;
 use crate::params::{ParamId, ParamStore};
+use crate::simd::{self, QuantSet};
+
+/// Numerics tier of a tape (see DESIGN.md "Numerics policy").
+///
+/// * `Exact` — the default everywhere: every kernel is bit-identical
+///   to its naive reference, so training is deterministic across
+///   thread counts and twin servers byte-match. Gradients only ever
+///   flow on exact tapes ([`Tape::new`] is always exact).
+/// * `Fast` — opt-in inference-only forward kernels with FMA
+///   contraction and multi-accumulator reductions; same math, freer
+///   rounding.
+/// * `Quantized` — `Fast`, plus matmuls whose RHS is a model parameter
+///   with a quantized snapshot run as i8×i8→i32 dots
+///   ([`crate::simd::matmul_q8`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Numerics {
+    /// Bit-exact tier (default; the only tier gradients may use).
+    #[default]
+    Exact,
+    /// FMA/multi-accumulator f32 forward kernels (inference only).
+    Fast,
+    /// i8-quantized param matmuls over the fast tier (inference only).
+    Quantized,
+}
+
+impl Numerics {
+    /// Canonical lowercase name, as used by `--numerics` flags and
+    /// reply tags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Numerics::Exact => "exact",
+            Numerics::Fast => "fast",
+            Numerics::Quantized => "quantized",
+        }
+    }
+}
+
+impl std::fmt::Display for Numerics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Numerics {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Numerics::Exact),
+            "fast" => Ok(Numerics::Fast),
+            "quantized" => Ok(Numerics::Quantized),
+            other => Err(format!("unknown numerics tier `{other}` (exact|fast|quantized)")),
+        }
+    }
+}
 
 /// Handle to a tensor on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +154,10 @@ pub struct Tape {
     grad_enabled: bool,
     pool_hits: u64,
     pool_misses: u64,
+    /// Numerics tier (always [`Numerics::Exact`] on grad tapes).
+    numerics: Numerics,
+    /// Quantized parameter snapshots for [`Numerics::Quantized`].
+    quant: Option<Arc<QuantSet>>,
 }
 
 impl Default for Tape {
@@ -116,6 +176,8 @@ impl Tape {
             grad_enabled,
             pool_hits: 0,
             pool_misses: 0,
+            numerics: Numerics::Exact,
+            quant: None,
         }
     }
 
@@ -130,6 +192,32 @@ impl Tape {
     /// [`Tape::grad`] panic on such a tape.
     pub fn inference() -> Self {
         Self::with_grad(false)
+    }
+
+    /// Creates a no-grad tape running the given numerics tier. Only
+    /// inference tapes can leave the exact tier: [`Tape::new`] is
+    /// always exact, so gradients structurally never see fast or
+    /// quantized kernels.
+    pub fn inference_with(numerics: Numerics) -> Self {
+        let mut t = Self::with_grad(false);
+        t.numerics = numerics;
+        t
+    }
+
+    /// The tape's numerics tier.
+    pub fn numerics(&self) -> Numerics {
+        self.numerics
+    }
+
+    /// Attaches quantized parameter snapshots; matmuls whose RHS is a
+    /// parameter present in `quant` (with matching shape) will run the
+    /// i8 path when the tape's tier is [`Numerics::Quantized`].
+    ///
+    /// # Panics
+    /// Panics on a grad tape — quantization is inference-only.
+    pub fn attach_quant(&mut self, quant: Arc<QuantSet>) {
+        assert!(!self.grad_enabled, "quantized numerics on a grad tape");
+        self.quant = Some(quant);
     }
 
     /// Creates an empty tape with room for `cap` nodes (hot loops).
@@ -202,7 +290,9 @@ impl Tape {
     }
 
     /// Appends a node that references an existing buffer (zero-copy
-    /// views). In no-grad mode the op is dropped in favour of `Leaf`.
+    /// views). In no-grad mode ops are dropped in favour of `Leaf` —
+    /// except `Op::Param`, which is payload-free and lets the
+    /// quantized tier recognise parameter operands ([`Tape::matmul`]).
     fn push_view(&mut self, rows: usize, cols: usize, buf: u32, op: Op) -> TensorId {
         let id = TensorId(self.nodes.len() as u32);
         if self.grad_enabled {
@@ -210,7 +300,11 @@ impl Tape {
             self.grads.push(grad);
             self.nodes.push(Node { rows, cols, buf, op });
         } else {
-            self.nodes.push(Node { rows, cols, buf, op: Op::Leaf });
+            let op = match op {
+                Op::Param(pid) => Op::Param(pid),
+                _ => Op::Leaf,
+            };
+            self.nodes.push(Node { rows, cols, buf, op });
         }
         id
     }
@@ -278,13 +372,36 @@ impl Tape {
     // ---------------------------------------------------------------
 
     /// Matrix product `a @ b`: `[r,k] x [k,c] -> [r,c]`, via the
-    /// cache-blocked kernel in [`crate::kernels`].
+    /// cache-blocked kernel in [`crate::kernels`] — or, on non-exact
+    /// inference tapes, the fast-tier FMA kernel / the i8 quantized
+    /// kernel when `b` is a parameter with a quantized snapshot.
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
         let (ar, ak) = self.shape(a);
         let (bk, bc) = self.shape(b);
         assert_eq!(ak, bk, "matmul inner dim mismatch: [{ar},{ak}] x [{bk},{bc}]");
         let mut out = self.alloc_filled(ar * bc, 0.0);
-        kernels::matmul(self.data(a), self.data(b), &mut out, ar, ak, bc);
+        match self.numerics {
+            Numerics::Exact => {
+                kernels::matmul(self.data(a), self.data(b), &mut out, ar, ak, bc);
+            }
+            Numerics::Fast => {
+                kernels::matmul_fast(self.data(a), self.data(b), &mut out, ar, ak, bc);
+            }
+            Numerics::Quantized => {
+                let qm = match self.nodes[b.idx()].op {
+                    Op::Param(pid) => self
+                        .quant
+                        .as_ref()
+                        .and_then(|qs| qs.get(pid))
+                        .filter(|qm| qm.k == ak && qm.c == bc),
+                    _ => None,
+                };
+                match qm {
+                    Some(qm) => simd::matmul_q8(self.data(a), qm, &mut out, ar, ak, bc),
+                    None => kernels::matmul_fast(self.data(a), self.data(b), &mut out, ar, ak, bc),
+                }
+            }
+        }
         self.push(ar, bc, out, Op::Matmul(a, b))
     }
 
@@ -392,6 +509,8 @@ impl Tape {
         let (c, bc) = self.shape(b);
         assert_eq!(ac, 1, "add_outer lhs must be a column vector");
         assert_eq!(bc, 1, "add_outer rhs must be a column vector");
+        rtp_obs::counter!("tensor.op.add_outer.calls").inc();
+        rtp_obs::counter!("tensor.op.add_outer.flops").add((r * c) as u64);
         let mut out = self.alloc();
         let da = self.data(a);
         let db = self.data(b);
@@ -549,6 +668,9 @@ impl Tape {
     /// route-ordered re-sorting for the SortLSTM).
     pub fn gather_rows(&mut self, a: TensorId, indices: &[usize]) -> TensorId {
         let (r, c) = self.shape(a);
+        rtp_obs::counter!("tensor.op.gather_rows.calls").inc();
+        // read + write of every gathered row, in f32 bytes
+        rtp_obs::counter!("tensor.op.gather_rows.bytes").add((2 * indices.len() * c * 4) as u64);
         let mut out = self.alloc();
         let da = self.data(a);
         for &i in indices {
@@ -638,6 +760,9 @@ impl Tape {
     pub fn masked_softmax_rows(&mut self, a: TensorId, mask: &[bool]) -> TensorId {
         let (r, c) = self.shape(a);
         assert_eq!(mask.len(), r * c, "mask length mismatch");
+        rtp_obs::counter!("tensor.op.masked_softmax_rows.calls").inc();
+        // per element: max-scan, subtract, exp (~2 flop), sum, divide
+        rtp_obs::counter!("tensor.op.masked_softmax_rows.flops").add((5 * r * c) as u64);
         let mut out = self.alloc_filled(r * c, 0.0);
         let da = self.data(a);
         for i in 0..r {
