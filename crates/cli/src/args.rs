@@ -85,6 +85,12 @@ pub enum Command {
         batch_window_us: u64,
         /// Numerics tier: "exact", "fast" or "quantized".
         numerics: String,
+        /// Periodic Prometheus snapshot path (empty = off).
+        metrics_file: String,
+        /// Snapshot period for `metrics_file`, seconds (0 = 5 s default).
+        metrics_interval_secs: u64,
+        /// Flight-recorder JSONL dump path on caught panics (empty = off).
+        flight_dump: String,
     },
     /// Print usage.
     Help,
@@ -115,6 +121,7 @@ USAGE:
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
                [--workers N] [--idle-timeout-secs S] [--allow-shutdown]
                [--batch-max N] [--batch-window-us U] [--numerics exact|fast|quantized]
+               [--metrics-file PATH] [--metrics-interval-secs S] [--flight-dump PATH]
   rtp help
 ";
 
@@ -151,6 +158,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut checkpoint_dir = String::new();
     let mut resume = false;
     let mut numerics = "exact".to_string();
+    let mut metrics_file = String::new();
+    let mut metrics_interval_secs = 0u64;
+    let mut flight_dump = String::new();
 
     while let Some(flag) = it.next() {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
@@ -194,6 +204,13 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             "--log-json" => log_json = v(&mut it)?,
             "--checkpoint-dir" => checkpoint_dir = v(&mut it)?,
             "--resume" => resume = true,
+            "--metrics-file" => metrics_file = v(&mut it)?,
+            "--metrics-interval-secs" => {
+                metrics_interval_secs = v(&mut it)?
+                    .parse()
+                    .map_err(|_| ParseError("bad --metrics-interval-secs".into()))?
+            }
+            "--flight-dump" => flight_dump = v(&mut it)?,
             "--numerics" => {
                 numerics = v(&mut it)?;
                 if !["exact", "fast", "quantized"].contains(&numerics.as_str()) {
@@ -264,6 +281,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             if batch_max == 0 {
                 return Err(ParseError("--batch-max must be >= 1".into()));
             }
+            if metrics_file.is_empty() && metrics_interval_secs != 0 {
+                return Err(ParseError("--metrics-interval-secs requires --metrics-file".into()));
+            }
             Command::Serve {
                 model,
                 dataset,
@@ -275,6 +295,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 batch_max,
                 batch_window_us,
                 numerics,
+                metrics_file,
+                metrics_interval_secs,
+                flight_dump,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -466,6 +489,58 @@ mod tests {
         assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--batch-max", "x"]).is_err());
         assert!(
             parse(&["serve", "--model", "m", "--dataset", "d", "--batch-window-us", "-5"]).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_serve_observability_flags() {
+        // Defaults: no snapshot writer, no flight dump.
+        let cli = parse(&["serve", "--model", "m", "--dataset", "d"]).unwrap();
+        match cli.command {
+            Command::Serve { metrics_file, metrics_interval_secs, flight_dump, .. } => {
+                assert!(metrics_file.is_empty());
+                assert_eq!(metrics_interval_secs, 0);
+                assert!(flight_dump.is_empty());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse(&[
+            "serve",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--metrics-file",
+            "prom.txt",
+            "--metrics-interval-secs",
+            "2",
+            "--flight-dump",
+            "flight.jsonl",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Serve { metrics_file, metrics_interval_secs, flight_dump, .. } => {
+                assert_eq!(metrics_file, "prom.txt");
+                assert_eq!(metrics_interval_secs, 2);
+                assert_eq!(flight_dump, "flight.jsonl");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--metrics-file"]).is_err());
+        assert!(parse(&[
+            "serve",
+            "--model",
+            "m",
+            "--dataset",
+            "d",
+            "--metrics-interval-secs",
+            "x"
+        ])
+        .is_err());
+        assert!(
+            parse(&["serve", "--model", "m", "--dataset", "d", "--metrics-interval-secs", "3"])
+                .is_err(),
+            "--metrics-interval-secs without --metrics-file must be rejected"
         );
     }
 

@@ -56,6 +56,9 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             if !log_json.is_empty() {
                 rtp_obs::trace::attach_file(&log_json)?;
             }
+            // The trainer records epoch progress through the flight
+            // recorder, so a crash mid-training has history to dump.
+            rtp_obs::flight::set_enabled(true);
             let variant = match variant.as_str() {
                 "full" => Variant::Full,
                 "two-step" => Variant::TwoStep,
@@ -91,13 +94,16 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                     o.file().display()
                 )?;
             }
-            let report = Trainer::new(train_cfg)
-                .fit_with_checkpoints(&mut model, &dataset, ckpt.as_ref())
-                .map_err(std::io::Error::other)?;
+            let result =
+                Trainer::new(train_cfg).fit_with_checkpoints(&mut model, &dataset, ckpt.as_ref());
+            // Detach (flush + fsync) the span sink before surfacing a
+            // training error: a failed run's --log-json file must still
+            // be complete up to the failure point.
             if !log_json.is_empty() {
                 rtp_obs::trace::detach();
                 writeln!(out, "wrote span trace to {log_json}")?;
             }
+            let report = result.map_err(std::io::Error::other)?;
             writeln!(
                 out,
                 "trained {} epochs in {:.1}s — best val KRC {:.3}, MAE {:.1} min",
@@ -178,6 +184,9 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             batch_max,
             batch_window_us,
             numerics,
+            metrics_file,
+            metrics_interval_secs,
+            flight_dump,
         } => {
             let dataset = load_dataset(&dataset)?;
             let model = load_model(&model)?;
@@ -191,6 +200,9 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 batch_max,
                 batch_window: std::time::Duration::from_micros(batch_window_us),
                 numerics: parse_numerics(&numerics),
+                metrics_file: (!metrics_file.is_empty()).then_some(metrics_file),
+                metrics_interval: std::time::Duration::from_secs(metrics_interval_secs),
+                flight_dump: (!flight_dump.is_empty()).then_some(flight_dump),
             };
             serve::serve(model, dataset, opts, out)
         }

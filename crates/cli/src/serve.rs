@@ -86,6 +86,45 @@
 //! the matmul-kernel counters) as one JSON line; on shutdown the
 //! server prints served/error/connection counts and p50/p95/p99
 //! latency.
+//!
+//! # Per-request tracing
+//!
+//! Every accepted connection mints a [`rtp_obs::TraceCtx`]; every
+//! request line on it gets a u64 trace id (consecutive for pipelined
+//! requests on one connection). Monotonic timestamps follow the
+//! request through worker dispatch → batch-queue enqueue →
+//! inference-engine flush → batched forward → demux → reply write, and
+//! the resulting per-stage durations land in the
+//! `serve.stage.{queue_wait,batch_form,forward,demux,write}_us`
+//! histograms for **every** prediction (traced or not). A client that
+//! sends `"trace": true` in its query additionally gets `trace_id` and
+//! a `stages` breakdown echoed in the reply; with the trace fields
+//! stripped, a traced reply is byte-identical to an untraced one.
+//! Stages are disjoint sub-intervals of the handle window measured
+//! with `saturating_duration_since`, so each duration is finite and
+//! non-negative and their sum never exceeds `latency_ms`. The
+//! breakdown's `write_us` covers reply construction (apply +
+//! serialize); the `serve.stage.write_us` histogram additionally
+//! includes the socket write, which a reply cannot observe about
+//! itself.
+//!
+//! # Exporters
+//!
+//! `{"cmd":"metrics"}` returns the merged registry snapshot rendered
+//! as Prometheus text exposition ([`rtp_obs::prom::render`]) inside a
+//! one-line JSON envelope; `--metrics-file PATH` additionally writes
+//! the same text to `PATH` every `--metrics-interval-secs S` (and once
+//! at startup and shutdown) via `write_atomic`, so any scraper or
+//! `watch cat` sees complete, valid exposition with zero deps.
+//!
+//! # Flight recorder
+//!
+//! The server enables [`rtp_obs::flight`]: request, error, span and
+//! panic events (each carrying its trace id) go into fixed per-thread
+//! rings. A worker or engine panic records a `panic` event and — with
+//! `--flight-dump PATH` — dumps all rings as JSONL through
+//! `write_atomic`, turning the catch_unwind sites into post-mortems;
+//! `{"cmd":"dump"}` returns the same events in-band.
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
@@ -101,6 +140,7 @@ use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction};
 use rtp_eval::service::{apply_prediction, RtpService};
 use rtp_graph::MultiLevelGraph;
 use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+use rtp_obs::{flight, StageBreakdown, TraceCtx};
 use rtp_sim::{Dataset, RtpQuery};
 use rtp_tensor::parallel::resolve_threads;
 use rtp_tensor::Numerics;
@@ -145,7 +185,17 @@ pub struct ServeError {
 }
 
 /// Known in-band control commands, for the unknown-command reply.
-const KNOWN_CMDS: &str = "stats, shutdown, panic";
+const KNOWN_CMDS: &str = "stats, metrics, dump, shutdown, panic";
+
+/// The reply to `{"cmd":"metrics"}`: the merged registry snapshot
+/// rendered as Prometheus text exposition, in a one-line JSON envelope
+/// so it rides the NDJSON protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Prometheus text exposition format (validates under
+    /// [`rtp_obs::prom::validate`]).
+    pub metrics: String,
+}
 
 /// Flattened percentile view of one histogram in a [`StatsReply`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -236,6 +286,15 @@ pub struct ServeOptions {
     /// from non-default tiers are tagged with a `"numerics"` field so
     /// clients can tell approximate answers from bit-exact ones.
     pub numerics: Numerics,
+    /// Write the merged registry as Prometheus text exposition to this
+    /// path (atomically) every `metrics_interval`, plus once at startup
+    /// and shutdown. `None` disables the writer.
+    pub metrics_file: Option<String>,
+    /// Snapshot period for `metrics_file` (zero = the 5 s default).
+    pub metrics_interval: Duration,
+    /// Dump the flight recorder as JSONL to this path when a worker or
+    /// engine panic is caught. `None` keeps panics as counters only.
+    pub flight_dump: Option<String>,
 }
 
 impl ServeOptions {
@@ -267,6 +326,17 @@ struct ServeMetrics {
     pool_hits: Arc<Gauge>,
     pool_misses: Arc<Gauge>,
     pool_hit_rate: Arc<Gauge>,
+    /// Per-numerics-tier ok-prediction counters
+    /// (`serve.requests.{exact,fast,quantized}`); all three are
+    /// registered up front so the stats reply always carries the full
+    /// tier breakdown.
+    req_exact: Arc<Counter>,
+    req_fast: Arc<Counter>,
+    req_quantized: Arc<Counter>,
+    /// Stage-latency histograms (`serve.stage.<name>_us`), indexed in
+    /// [`StageBreakdown::NAMES`] order: queue_wait, batch_form,
+    /// forward, demux, write. Recorded for every ok prediction.
+    stages: [Arc<Histogram>; 5],
 }
 
 impl ServeMetrics {
@@ -291,7 +361,21 @@ impl ServeMetrics {
             pool_hits: registry.gauge("tensor.pool.hits"),
             pool_misses: registry.gauge("tensor.pool.misses"),
             pool_hit_rate: registry.gauge("tensor.pool.hit_rate"),
+            req_exact: registry.counter("serve.requests.exact"),
+            req_fast: registry.counter("serve.requests.fast"),
+            req_quantized: registry.counter("serve.requests.quantized"),
+            stages: StageBreakdown::NAMES
+                .map(|name| registry.histogram(&format!("serve.stage.{name}_us"))),
         }
+    }
+
+    /// Records the four in-handler stages of one prediction (write is
+    /// recorded separately, after the socket write it includes).
+    fn record_stages(&self, s: &StageBreakdown) {
+        self.stages[0].record(s.queue_wait_us);
+        self.stages[1].record(s.batch_form_us);
+        self.stages[2].record(s.forward_us);
+        self.stages[3].record(s.demux_us);
     }
 }
 
@@ -315,7 +399,28 @@ struct CacheEntry {
 /// waiting worker answers an internal-error line for just that request.
 struct InferJob {
     graph: MultiLevelGraph,
-    reply: Sender<(MultiLevelGraph, Prediction, EncodedQuery)>,
+    /// Trace id of the request this job belongs to (flight-recorder
+    /// attribution on an engine panic).
+    trace_id: u64,
+    /// When the owning worker enqueued the job (starts `queue_wait`).
+    enqueued: Instant,
+    reply: Sender<EngineReply>,
+}
+
+/// What the inference engine sends back per job: the prediction plus
+/// the engine-side stage timings of this request's batch.
+struct EngineReply {
+    graph: MultiLevelGraph,
+    prediction: Prediction,
+    enc: EncodedQuery,
+    /// Enqueue → engine dequeue of this job.
+    queue_wait_us: u64,
+    /// Dequeue → batch flush (waiting for the micro-batch to form).
+    batch_form_us: u64,
+    /// The batched forward.
+    forward_us: u64,
+    /// When the forward finished (starts `demux` on the worker side).
+    finished: Instant,
 }
 
 /// State shared by the acceptor and every worker.
@@ -344,6 +449,8 @@ struct ServerShared {
     /// a benign lost-update (same fingerprint ⇒ same bits), not an
     /// invalidation.
     cache: Option<Mutex<HashMap<usize, Arc<CacheEntry>>>>,
+    /// Where a caught panic dumps the flight recorder (`--flight-dump`).
+    flight_dump: Option<String>,
 }
 
 impl ServerShared {
@@ -362,6 +469,19 @@ impl ServerShared {
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
             cache: opts.batching().then(|| Mutex::new(HashMap::new())),
+            flight_dump: opts.flight_dump.clone(),
+        }
+    }
+
+    /// Dumps the flight recorder to the `--flight-dump` path (no-op
+    /// without one). Called from caught-panic sites, so the dump also
+    /// flushes and fsyncs the span sink (S2: a `--log-json` file is
+    /// complete at post-mortem time).
+    fn dump_flight(&self) {
+        if let Some(path) = &self.flight_dump {
+            if let Err(e) = flight::dump_to_file(path) {
+                eprintln!("flight dump to {path} failed: {e}");
+            }
         }
     }
 
@@ -491,9 +611,14 @@ pub fn serve(
         out.flush()?;
     }
 
+    // The flight recorder stays on for the server's lifetime: request,
+    // error, span and panic events accumulate in per-thread rings so a
+    // caught panic (or {"cmd":"dump"}) has history to show.
+    flight::set_enabled(true);
+
     let model = Arc::new(model);
     let shared = ServerShared::new(Registry::new(), addr, &opts);
-    let (tx, rx) = channel::<TcpStream>();
+    let (tx, rx) = channel::<(TcpStream, TraceCtx)>();
     // std's Receiver is single-consumer; workers share it behind a
     // mutex, each holding it only for one blocking `recv`.
     let rx = Arc::new(Mutex::new(rx));
@@ -539,9 +664,9 @@ pub fn serve(
                         Ok(guard) => guard.recv(),
                         Err(_) => break,
                     };
-                    let Ok(stream) = next else { break };
+                    let Ok((stream, trace)) = next else { break };
                     shared.conn_started();
-                    let result = handle_connection(&ctx, stream);
+                    let result = handle_connection(&ctx, stream, trace);
                     shared.conn_finished();
                     if result.is_err() {
                         shared.metrics.conn_errors.inc();
@@ -553,15 +678,41 @@ pub fn serve(
         // engine's lifetime to the workers'.
         drop(job_tx);
 
+        // Periodic Prometheus snapshot writer (--metrics-file). Sleeps
+        // in POLL_INTERVAL slices so shutdown is honoured promptly; the
+        // final (post-drain) snapshot is written by serve() itself
+        // after the scope joins every worker.
+        if let Some(path) = opts.metrics_file.clone() {
+            let shared = &shared;
+            let interval = if opts.metrics_interval.is_zero() {
+                Duration::from_secs(5)
+            } else {
+                opts.metrics_interval
+            };
+            scope.spawn(move || loop {
+                write_metrics_file(&path, shared);
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            });
+        }
+
         // Acceptor: dispatch until shutdown. The shutdown poke is
-        // itself a connection, consumed by the flag check.
+        // itself a connection, consumed by the flag check. Every
+        // accepted connection gets its trace context here, so trace
+        // ids cover the full dispatch path including queueing for a
+        // worker.
         for stream in listener.incoming() {
             if shared.shutting_down() {
                 break;
             }
             match stream {
                 Ok(s) => {
-                    if tx.send(s).is_err() {
+                    if tx.send((s, TraceCtx::at_accept())).is_err() {
                         break;
                     }
                 }
@@ -572,6 +723,14 @@ pub fn serve(
         // finish their in-flight connections first (drain).
         drop(tx);
     });
+
+    // Graceful-shutdown durability (S2): everything traced so far is
+    // flushed and fsynced, and the exported snapshot reflects the full
+    // run including the final drained requests.
+    rtp_obs::trace::flush();
+    if let Some(path) = &opts.metrics_file {
+        write_metrics_file(path, &shared);
+    }
 
     let m = &shared.metrics;
     let served = shared.served.load(Ordering::SeqCst);
@@ -605,6 +764,25 @@ pub fn serve(
     Ok(0)
 }
 
+/// The server registry merged with the process-global one (which
+/// carries the matmul-kernel counters and training gauges) — the same
+/// view `{"cmd":"stats"}`, `{"cmd":"metrics"}` and the snapshot writer
+/// all export.
+fn merged_snapshot(shared: &ServerShared) -> Snapshot {
+    let mut snap = shared.registry.snapshot();
+    snap.merge(&rtp_obs::metrics::global().snapshot());
+    snap
+}
+
+/// Writes the merged snapshot to `path` as Prometheus text exposition,
+/// atomically — a scraper never sees a half-written file.
+fn write_metrics_file(path: &str, shared: &ServerShared) {
+    let text = rtp_obs::prom::render(&merged_snapshot(shared));
+    if let Err(e) = rtp_obs::fsio::write_atomic_str(std::path::Path::new(path), &text) {
+        eprintln!("metrics snapshot to {path} failed: {e}");
+    }
+}
+
 /// The inference engine: collects [`InferJob`]s into micro-batches and
 /// runs one batched forward per batch on its own pooled no-grad tape.
 ///
@@ -626,7 +804,10 @@ fn run_inference_engine(
 ) {
     let mut tape = model.inference_tape(numerics);
     while let Ok(first) = jobs.recv() {
-        let deadline = Instant::now() + window;
+        // Per-job dequeue times: job i's queue_wait ends (and its
+        // batch_form begins) the moment the engine receives it.
+        let mut recvs = vec![Instant::now()];
+        let deadline = recvs[0] + window;
         let mut batch = vec![first];
         while batch.len() < batch_max {
             let now = Instant::now();
@@ -634,26 +815,47 @@ fn run_inference_engine(
                 break;
             }
             match jobs.recv_timeout(deadline - now) {
-                Ok(job) => batch.push(job),
+                Ok(job) => {
+                    batch.push(job);
+                    recvs.push(Instant::now());
+                }
                 Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
             }
         }
         shared.metrics.batch_size.record(batch.len() as u64);
+        let flushed = Instant::now();
         let graphs: Vec<&MultiLevelGraph> = batch.iter().map(|j| &j.graph).collect();
         let result =
             catch_unwind(AssertUnwindSafe(|| model.predict_batch_encoded_into(&mut tape, &graphs)));
         drop(graphs);
+        let finished = Instant::now();
+        let forward_us = finished.saturating_duration_since(flushed).as_micros() as u64;
         match result {
             Ok(preds) => {
-                for (job, (pred, enc)) in batch.into_iter().zip(preds) {
-                    let InferJob { graph, reply } = job;
+                for ((job, recv), (pred, enc)) in batch.into_iter().zip(recvs).zip(preds) {
+                    let InferJob { graph, trace_id: _, enqueued, reply } = job;
                     // A send error only means the worker gave up on the
                     // connection; nothing to do.
-                    let _ = reply.send((graph, pred, enc));
+                    let _ = reply.send(EngineReply {
+                        graph,
+                        prediction: pred,
+                        enc,
+                        queue_wait_us: recv.saturating_duration_since(enqueued).as_micros() as u64,
+                        batch_form_us: flushed.saturating_duration_since(recv).as_micros() as u64,
+                        forward_us,
+                        finished,
+                    });
                 }
             }
             Err(_) => {
                 shared.metrics.panics.inc();
+                let size = batch.len();
+                for job in &batch {
+                    flight::record(flight::Kind::Panic, "serve.engine", job.trace_id, || {
+                        format!("batched forward panicked (batch of {size})")
+                    });
+                }
+                shared.dump_flight();
                 tape = model.inference_tape(numerics);
                 // Dropping `batch` drops every reply sender; each
                 // waiting worker sees RecvError and answers an error
@@ -712,7 +914,11 @@ fn read_request_line(
 /// real I/O failures (client reset, broken pipe) — the caller counts
 /// those as `serve.conn_errors`; everything else (EOF, idle reap,
 /// budget exhaustion, handler panic) closes the connection cleanly.
-fn handle_connection(ctx: &WorkerCtx<'_>, stream: TcpStream) -> std::io::Result<()> {
+fn handle_connection(
+    ctx: &WorkerCtx<'_>,
+    stream: TcpStream,
+    mut trace: TraceCtx,
+) -> std::io::Result<()> {
     // The polling read timeout doubles as the shutdown-responsiveness
     // bound; `read_request_line` keeps partial lines across polls.
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
@@ -734,19 +940,28 @@ fn handle_connection(ctx: &WorkerCtx<'_>, stream: TcpStream) -> std::io::Result<
         if !ctx.shared.claim_reply() {
             return Ok(()); // budget spent — close unanswered
         }
+        let trace_id = trace.next_request();
         // Fault isolation: a panic anywhere in parse/predict/serialize
         // must not unwind through the worker loop. The worker's tape
         // mutex is poison-recovered by RtpService on the next request.
-        let reply = catch_unwind(AssertUnwindSafe(|| handle_line(ctx, line)));
+        let reply = catch_unwind(AssertUnwindSafe(|| handle_line(ctx, line, trace_id)));
         match reply {
-            Ok(Reply::Line(mut body)) => {
+            Ok(Reply::Line(mut body, stages)) => {
                 body.push('\n');
                 // Count before the write lands: a client must never
                 // observe a reply whose counters haven't settled (the
                 // stats request relies on exact accounting).
                 ctx.replies.inc();
+                let wire_t0 = Instant::now();
                 writer.write_all(body.as_bytes())?;
                 writer.flush()?;
+                // The write-stage histogram covers serialization plus
+                // the socket write; the echoed breakdown stops at
+                // serialization (it is part of the written bytes).
+                if let Some(ser_us) = stages {
+                    let wire_us = wire_t0.elapsed().as_micros() as u64;
+                    ctx.shared.metrics.stages[4].record(ser_us + wire_us);
+                }
                 ctx.shared.after_reply();
             }
             Ok(Reply::ShutdownAck(mut body)) => {
@@ -759,6 +974,10 @@ fn handle_connection(ctx: &WorkerCtx<'_>, stream: TcpStream) -> std::io::Result<
             }
             Err(_) => {
                 ctx.shared.metrics.panics.inc();
+                flight::record(flight::Kind::Panic, "serve.worker", trace_id, || {
+                    format!("request handler panicked on line of {} byte(s)", line.len())
+                });
+                ctx.shared.dump_flight();
                 let mut err = serde_json::to_string(&ServeError {
                     error: "internal error: request handler panicked; connection closed".into(),
                 })
@@ -773,19 +992,25 @@ fn handle_connection(ctx: &WorkerCtx<'_>, stream: TcpStream) -> std::io::Result<
     }
 }
 
-/// A reply line, plus whether it also requests server shutdown.
+/// A reply line, plus whether it also requests server shutdown. An ok
+/// prediction carries `Some(serialization_us)` so the connection loop
+/// can fold the socket write into the `serve.stage.write_us` sample.
 enum Reply {
-    Line(String),
+    Line(String, Option<u64>),
     ShutdownAck(String),
 }
 
 /// Produces the reply for one request line, recording telemetry.
-fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
+fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
     let shared = ctx.shared;
     let metrics = &shared.metrics;
     let err_line = |msg: String| {
         metrics.errors.inc();
-        Reply::Line(serde_json::to_string(&ServeError { error: msg }).expect("serialise error"))
+        flight::record(flight::Kind::Error, "serve.error", trace_id, || msg.clone());
+        Reply::Line(
+            serde_json::to_string(&ServeError { error: msg }).expect("serialise error"),
+            None,
+        )
     };
     let t0 = Instant::now();
     // Parse once, classify structurally: any object carrying a `cmd`
@@ -803,21 +1028,49 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
         // so it must not pollute `serve.errors`.
         let unknown_cmd = |msg: String| {
             metrics.unknown_cmds.inc();
-            Reply::Line(serde_json::to_string(&ServeError { error: msg }).expect("serialise error"))
+            Reply::Line(
+                serde_json::to_string(&ServeError { error: msg }).expect("serialise error"),
+                None,
+            )
         };
         return match cmd.as_str() {
             Some("stats") => {
                 metrics.stats.inc();
                 shared.refresh_pool(&ctx.service, &ctx.pool_last);
-                let mut snap = shared.registry.snapshot();
                 // The global registry carries process-wide metrics
                 // (matmul kernel counters, training gauges); merging
                 // demonstrates snapshot associativity in anger.
-                snap.merge(&rtp_obs::metrics::global().snapshot());
+                let snap = merged_snapshot(shared);
                 Reply::Line(
                     serde_json::to_string(&StatsReply::from_snapshot(&snap))
                         .expect("serialise stats"),
+                    None,
                 )
+            }
+            Some("metrics") => {
+                metrics.stats.inc();
+                shared.refresh_pool(&ctx.service, &ctx.pool_last);
+                let text = rtp_obs::prom::render(&merged_snapshot(shared));
+                Reply::Line(
+                    serde_json::to_string(&MetricsReply { metrics: text })
+                        .expect("serialise metrics"),
+                    None,
+                )
+            }
+            Some("dump") => {
+                metrics.stats.inc();
+                // The flight events carry their own JSON (obs stays
+                // zero-dep, so they don't derive the vendored serde);
+                // join them into one {"events":[...]} line.
+                let mut body = String::from("{\"events\":[");
+                for (i, event) in flight::snapshot().iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&event.to_json_line());
+                }
+                body.push_str("]}");
+                Reply::Line(body, None)
             }
             Some("shutdown") if shared.allow_shutdown => {
                 metrics.stats.inc();
@@ -852,10 +1105,12 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
                     ctx.dataset.couriers.len()
                 ));
             };
-            let prediction = match predict_query(ctx, line, courier, &query) {
+            let (prediction, mut stages) = match predict_query(ctx, line, courier, &query, trace_id)
+            {
                 Ok(p) => p,
                 Err(e) => return err_line(e),
             };
+            let pred_done = Instant::now();
             let app = match apply_prediction(&query, &prediction) {
                 Ok(app) => app,
                 Err(e) => return err_line(format!("internal error: {e}")),
@@ -866,28 +1121,61 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
                 aoi_sequence: app.aoi_sequence,
             })
             .expect("serialise response");
+            // The write stage (as echoed) is reply construction: apply
+            // + serialize. The socket write is folded into the
+            // histogram sample by the connection loop afterwards.
+            let ser_us = pred_done.elapsed().as_micros() as u64;
+            stages.write_us = ser_us;
             // The full handle — parse, predict, serialize — measured
             // once: the histogram sample and the latency_ms field are
-            // the same number by construction.
+            // the same number by construction. Every stage is a
+            // disjoint sub-interval of this window, so the breakdown
+            // sums to ≤ latency_us.
             let latency_us = (t0.elapsed().as_micros() as u64).max(1);
             metrics.latency_us.record(latency_us);
             metrics.route_len.record(query.orders.len() as u64);
             metrics.requests.inc();
+            metrics.record_stages(&stages);
+            match ctx.service.numerics() {
+                Numerics::Exact => metrics.req_exact.inc(),
+                Numerics::Fast => metrics.req_fast.inc(),
+                Numerics::Quantized => metrics.req_quantized.inc(),
+            }
+            flight::record(flight::Kind::Request, "serve.request", trace_id, || {
+                format!(
+                    "courier={} orders={} latency_us={latency_us}",
+                    query.courier_id,
+                    query.orders.len()
+                )
+            });
             shared.refresh_pool(&ctx.service, &ctx.pool_last);
             let latency_ms = latency_us as f64 / 1000.0;
+            // A client that sent "trace": true gets the id and the
+            // stage breakdown echoed; otherwise the reply bytes are
+            // exactly the untraced shape.
+            let traced = matches!(value.get("trace"), Some(serde::Value::Bool(true)));
+            let trace_tag = if traced {
+                format!(",\"trace_id\":{trace_id},\"stages\":{}", stages.to_json())
+            } else {
+                String::new()
+            };
             // Splice latency into the serialized body ({"a":.. ->
             // {"latency_ms":X,"a":..): field order is free in JSON.
             // Non-default numerics tiers also tag the reply so a client
             // can tell approximate answers apart; the default tier
             // keeps the exact reply shape of earlier versions.
             match ctx.service.numerics() {
-                Numerics::Exact => {
-                    Reply::Line(format!("{{\"latency_ms\":{latency_ms},{}", &body[1..]))
-                }
-                tier => Reply::Line(format!(
-                    "{{\"latency_ms\":{latency_ms},\"numerics\":\"{tier}\",{}",
-                    &body[1..]
-                )),
+                Numerics::Exact => Reply::Line(
+                    format!("{{\"latency_ms\":{latency_ms}{trace_tag},{}", &body[1..]),
+                    Some(ser_us),
+                ),
+                tier => Reply::Line(
+                    format!(
+                        "{{\"latency_ms\":{latency_ms},\"numerics\":\"{tier}\"{trace_tag},{}",
+                        &body[1..]
+                    ),
+                    Some(ser_us),
+                ),
             }
         }
     }
@@ -908,17 +1196,29 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str) -> Reply {
 ///
 /// All three routes produce bit-identical predictions; see the module
 /// docs.
+///
+/// Alongside the prediction, returns the request's [`StageBreakdown`]
+/// with everything but `write_us` filled in: the single-thread routes
+/// (unbatched, cache hit) have `queue_wait == batch_form == demux == 0`
+/// and `forward` covering the local forward; the batched route carries
+/// the engine-stamped queue/batch/forward durations plus the demux
+/// latency back to this worker.
 fn predict_query(
     ctx: &WorkerCtx<'_>,
     line: &str,
     courier: &rtp_sim::Courier,
     query: &RtpQuery,
-) -> Result<Prediction, String> {
+    trace_id: u64,
+) -> Result<(Prediction, StageBreakdown), String> {
     let shared = ctx.shared;
     let metrics = &shared.metrics;
+    let mut stages = StageBreakdown::default();
     let Some(infer_tx) = &ctx.infer_tx else {
         let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
-        return Ok(ctx.service.predict(&graph));
+        let t0 = Instant::now();
+        let prediction = ctx.service.predict(&graph);
+        stages.forward_us = t0.elapsed().as_micros() as u64;
+        return Ok((prediction, stages));
     };
     let cached = shared
         .lock_cache()
@@ -929,18 +1229,27 @@ fn predict_query(
     if let Some(entry) = cached {
         metrics.cache_hits.inc();
         shared.refresh_cache_rate();
-        return Ok(ctx.service.predict_encoded(&entry.graph, &entry.enc));
+        let t0 = Instant::now();
+        let prediction = ctx.service.predict_encoded(&entry.graph, &entry.enc);
+        stages.forward_us = t0.elapsed().as_micros() as u64;
+        return Ok((prediction, stages));
     }
     metrics.cache_misses.inc();
     shared.refresh_cache_rate();
     let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
     let (reply_tx, reply_rx) = channel();
     infer_tx
-        .send(InferJob { graph, reply: reply_tx })
+        .send(InferJob { graph, trace_id, enqueued: Instant::now(), reply: reply_tx })
         .map_err(|_| "internal error: inference engine unavailable".to_string())?;
-    let (graph, prediction, enc) = reply_rx
+    let engine_reply = reply_rx
         .recv()
         .map_err(|_| "internal error: batched inference failed for this request".to_string())?;
+    let EngineReply { graph, prediction, enc, queue_wait_us, batch_form_us, forward_us, finished } =
+        engine_reply;
+    stages.queue_wait_us = queue_wait_us;
+    stages.batch_form_us = batch_form_us;
+    stages.forward_us = forward_us;
+    stages.demux_us = finished.elapsed().as_micros() as u64;
     let entry = Arc::new(CacheEntry { fingerprint: line.to_string(), graph, enc });
     let mut cache = shared.lock_cache().expect("batching implies a cache");
     if let Some(old) = cache.insert(query.courier_id, entry) {
@@ -950,5 +1259,5 @@ fn predict_query(
             metrics.cache_invalidations.inc();
         }
     }
-    Ok(prediction)
+    Ok((prediction, stages))
 }

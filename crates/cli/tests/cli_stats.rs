@@ -5,6 +5,8 @@
 
 mod common;
 
+use std::time::Duration;
+
 use common::{query_line, start_server, trained_model, Client};
 use rtp_cli::serve::{ServeOptions, ServeResponse, StatsReply};
 
@@ -62,4 +64,69 @@ fn stats_request_reports_latency_percentiles_errors_and_pool_hit_rate() {
     assert!(summary.contains("connections: 1 handled, 0 conn error(s), 0 panic(s)"), "{summary}");
     assert!(summary.contains("latency p50"), "{summary}");
     assert!(summary.contains("p99"), "{summary}");
+}
+
+/// The batching/cache/tier metrics introduced alongside micro-batching
+/// must all round-trip through `{"cmd":"stats"}`: the `serve.batch_size`
+/// histogram with its percentiles, the `serve.cache.hit_rate` gauge,
+/// the `serve.unknown_cmds` counter, and the per-numerics-tier request
+/// counters.
+#[test]
+fn stats_round_trip_batch_size_cache_rate_unknown_cmds_and_tiers() {
+    let (dataset, model) = trained_model(172);
+    // 2 predictions + 1 unknown command + 1 stats = 4 replies
+    let opts = ServeOptions {
+        max_requests: 4,
+        workers: 1,
+        batch_max: 4,
+        batch_window: Duration::from_micros(200),
+        ..Default::default()
+    };
+    let server = start_server(model, dataset.clone(), opts);
+    let mut client = Client::connect(&server.addr);
+
+    // Same line twice: one engine round (cache miss) + one cache hit.
+    let line = query_line(&dataset, 0);
+    let first = client.round_trip(&line);
+    let second = client.round_trip(&line);
+    assert_eq!(common::strip_latency(&first), common::strip_latency(&second));
+
+    let reply = client.round_trip("{\"cmd\":\"frobnicate\"}");
+    assert!(reply.contains("unknown command"), "{reply}");
+
+    let reply = client.round_trip("{\"cmd\":\"stats\"}");
+    let stats: StatsReply = serde_json::from_str(&reply).expect("stats reply parses");
+
+    // serve.batch_size: exactly one batched forward (the cache hit
+    // never reaches the engine), of batch size 1.
+    let batch = stats.histograms.get("serve.batch_size").expect("batch_size histogram in stats");
+    assert_eq!(batch.count, 1, "one engine batch expected");
+    assert!(batch.p50 >= 1 && batch.p50 <= batch.max);
+
+    // serve.cache.hit_rate: 1 hit / (1 hit + 1 miss).
+    assert_eq!(stats.counters.get("serve.cache.hits"), Some(&1));
+    assert_eq!(stats.counters.get("serve.cache.misses"), Some(&1));
+    assert_eq!(stats.gauges.get("serve.cache.hit_rate"), Some(&0.5));
+
+    // serve.unknown_cmds: the typo'd command, kept out of serve.errors.
+    assert_eq!(stats.counters.get("serve.unknown_cmds"), Some(&1));
+    assert_eq!(stats.counters.get("serve.errors"), Some(&0));
+
+    // Per-numerics-tier counters: all three registered, default tier
+    // counted both predictions.
+    assert_eq!(stats.counters.get("serve.requests.exact"), Some(&2));
+    assert_eq!(stats.counters.get("serve.requests.fast"), Some(&0));
+    assert_eq!(stats.counters.get("serve.requests.quantized"), Some(&0));
+
+    // The stage histograms ride along for every prediction.
+    for name in rtp_obs::StageBreakdown::NAMES {
+        let h = stats
+            .histograms
+            .get(&format!("serve.stage.{name}_us"))
+            .unwrap_or_else(|| panic!("serve.stage.{name}_us missing from stats"));
+        assert_eq!(h.count, 2, "stage {name} must have one sample per prediction");
+    }
+
+    drop(client);
+    server.shutdown_summary();
 }

@@ -156,3 +156,46 @@ pub fn strip_latency(reply: &str) -> String {
     }
     body.to_string()
 }
+
+/// The k-th test query as a request line with `"trace": true` spliced
+/// in, so the reply echoes its trace id and stage breakdown.
+pub fn traced_query_line(dataset: &Dataset, k: usize) -> String {
+    let line = query_line(dataset, k);
+    format!("{{\"trace\":true,{}", &line[1..])
+}
+
+/// Strips the spliced `,"trace_id":N,"stages":{...}` fields from a
+/// traced reply, leaving exactly the bytes an untraced reply to the
+/// same query would carry (modulo `latency_ms`). Untraced replies pass
+/// through unchanged.
+pub fn strip_trace(reply: &str) -> String {
+    let body = reply.trim();
+    let Some(start) = body.find(",\"trace_id\":") else {
+        return body.to_string();
+    };
+    let stages_key = "\"stages\":{";
+    let sk = body[start..].find(stages_key).expect("stages follows trace_id") + start;
+    let close = body[sk + stages_key.len()..].find('}').expect("stages object closes");
+    let end = sk + stages_key.len() + close + 1;
+    format!("{}{}", &body[..start], &body[end..])
+}
+
+/// The `trace_id` and stage durations echoed in a traced reply, in
+/// [`rtp_obs::StageBreakdown::NAMES`] order.
+pub fn parse_trace(reply: &str) -> (u64, [u64; 5]) {
+    let v: serde::Value = serde_json::from_str(reply.trim()).expect("traced reply parses");
+    let trace_id = match v.get("trace_id") {
+        Some(serde::Value::Num(n)) => n.as_u64().expect("trace_id is a u64"),
+        other => panic!("missing trace_id in {reply}: {other:?}"),
+    };
+    let stages = v.get("stages").expect("stages present");
+    let stage = |name: &str| match stages.get(&format!("{name}_us")) {
+        Some(serde::Value::Num(n)) => {
+            let f = n.as_f64();
+            assert!(f.is_finite() && f >= 0.0, "stage {name} must be finite and >= 0, got {f}");
+            n.as_u64().unwrap_or_else(|| panic!("stage {name} is not a u64: {f}"))
+        }
+        other => panic!("missing stage {name} in {reply}: {other:?}"),
+    };
+    (trace_id, rtp_obs::StageBreakdown::NAMES.map(stage))
+}

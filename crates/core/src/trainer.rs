@@ -353,6 +353,14 @@ impl Trainer {
             g_val_krc.set(val_krc);
             g_val_mae.set(val_mae);
             history.push(EpochStats { epoch, train_loss, val_krc, val_mae });
+            // Epoch progress through the flight recorder: a crash later
+            // in the run dumps the recent training trajectory alongside
+            // the panic event.
+            rtp_obs::flight::record(rtp_obs::flight::Kind::Epoch, "train.epoch", 0, || {
+                format!(
+                    "epoch={epoch} loss={train_loss:.4} val_krc={val_krc:.3} val_mae={val_mae:.2}"
+                )
+            });
             if self.config.verbose {
                 eprintln!(
                     "epoch {epoch:>3}  loss {train_loss:>8.4}  val KRC {val_krc:>6.3}  val MAE {val_mae:>7.2}"

@@ -114,6 +114,12 @@ impl RtpService {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.tape.clear_poison();
+                rtp_obs::flight::record(
+                    rtp_obs::flight::Kind::Recovery,
+                    "service.tape_poison",
+                    0,
+                    || "poisoned inference tape replaced with a fresh no-grad tape".to_string(),
+                );
                 let mut guard = poisoned.into_inner();
                 *guard = self.model.inference_tape(self.numerics);
                 guard

@@ -1,0 +1,143 @@
+//! Per-request trace context for the serving stack: u64 trace ids
+//! minted at connection accept and a fixed five-stage latency
+//! breakdown that follows one request through worker dispatch,
+//! batch-queue enqueue, the batched forward, reply demux and the reply
+//! write.
+//!
+//! A [`TraceCtx`] is created when a connection is accepted; every
+//! request line on that connection then gets its own trace id from
+//! [`TraceCtx::next_request`]. Ids pack the connection and the request
+//! sequence (`conn << SEQ_BITS | seq`), so consecutive requests on one
+//! connection have consecutive ids and the connection a request came
+//! in on is recoverable from its id alone — which is exactly what a
+//! post-mortem flight-recorder dump needs.
+//!
+//! Timestamps never enter this module: stages are *durations* computed
+//! by the serving layer from monotonic [`std::time::Instant`] pairs,
+//! so a breakdown is non-negative by construction and the sum of the
+//! stages can never exceed the request's end-to-end latency (each
+//! stage is a disjoint sub-interval of the handle window).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Low bits of a trace id reserved for the per-connection request
+/// sequence number (2^20 pipelined requests per connection before the
+/// sequence wraps into the connection bits).
+pub const SEQ_BITS: u32 = 20;
+
+static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+
+/// The trace context of one accepted connection.
+#[derive(Debug)]
+pub struct TraceCtx {
+    conn: u64,
+    seq: u64,
+}
+
+impl TraceCtx {
+    /// Mints the context for a freshly accepted connection. Connection
+    /// ids are process-wide and monotonically increasing.
+    pub fn at_accept() -> Self {
+        Self { conn: NEXT_CONN.fetch_add(1, Ordering::Relaxed), seq: 0 }
+    }
+
+    /// The connection id this context was minted for.
+    pub fn conn_id(&self) -> u64 {
+        self.conn
+    }
+
+    /// Returns the trace id of the next request line on this
+    /// connection: `conn << SEQ_BITS | seq`, with `seq` starting at 1.
+    pub fn next_request(&mut self) -> u64 {
+        self.seq += 1;
+        (self.conn << SEQ_BITS) | (self.seq & ((1 << SEQ_BITS) - 1))
+    }
+}
+
+/// Per-stage durations (microseconds) of one served request.
+///
+/// * `queue_wait_us` — from batch-queue enqueue until the inference
+///   engine dequeued the job;
+/// * `batch_form_us` — from dequeue until the micro-batch flushed
+///   (window expiry or the batch filling up);
+/// * `forward_us` — the model forward (batched or per-worker);
+/// * `demux_us` — from forward completion until the owning worker
+///   received its reply;
+/// * `write_us` — reply serialization (in the echoed breakdown; the
+///   `serve.stage.write_us` histogram additionally includes the socket
+///   write, which a reply cannot observe about itself).
+///
+/// Unbatched and cache-hit requests have `queue_wait_us ==
+/// batch_form_us == demux_us == 0` — they never cross a thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Time spent queued before the inference engine picked the job up.
+    pub queue_wait_us: u64,
+    /// Time the job waited for its micro-batch to form.
+    pub batch_form_us: u64,
+    /// Model forward duration.
+    pub forward_us: u64,
+    /// Reply demultiplex latency back to the worker.
+    pub demux_us: u64,
+    /// Reply serialization (plus socket write in the histogram).
+    pub write_us: u64,
+}
+
+impl StageBreakdown {
+    /// Stage names, in pipeline order — the suffixes of the
+    /// `serve.stage.<name>_us` histogram family.
+    pub const NAMES: [&'static str; 5] = ["queue_wait", "batch_form", "forward", "demux", "write"];
+
+    /// Sum of all stage durations.
+    pub fn total_us(&self) -> u64 {
+        self.queue_wait_us + self.batch_form_us + self.forward_us + self.demux_us + self.write_us
+    }
+
+    /// The JSON object spliced into traced replies
+    /// (`"stages":{...}`) — key order is fixed to pipeline order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait_us\":{},\"batch_form_us\":{},\"forward_us\":{},\"demux_us\":{},\"write_us\":{}}}",
+            self.queue_wait_us, self.batch_form_us, self.forward_us, self.demux_us, self.write_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_consecutive_within_a_connection_and_distinct_across() {
+        let mut a = TraceCtx::at_accept();
+        let mut b = TraceCtx::at_accept();
+        assert_ne!(a.conn_id(), b.conn_id());
+        let a1 = a.next_request();
+        let a2 = a.next_request();
+        assert_eq!(a2, a1 + 1, "pipelined requests get consecutive ids");
+        assert_eq!(a1 >> SEQ_BITS, a.conn_id(), "connection recoverable from id");
+        let b1 = b.next_request();
+        assert_ne!(a1, b1);
+        assert_ne!(a2, b1);
+    }
+
+    #[test]
+    fn breakdown_sums_and_serializes_in_pipeline_order() {
+        let s = StageBreakdown {
+            queue_wait_us: 1,
+            batch_form_us: 2,
+            forward_us: 300,
+            demux_us: 4,
+            write_us: 50,
+        };
+        assert_eq!(s.total_us(), 357);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"queue_wait_us\":1,\"batch_form_us\":2,\"forward_us\":300,\"demux_us\":4,\"write_us\":50}"
+        );
+        let order: Vec<usize> =
+            StageBreakdown::NAMES.iter().map(|n| json.find(n).expect("key present")).collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "keys in pipeline order");
+    }
+}

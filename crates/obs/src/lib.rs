@@ -18,6 +18,18 @@
 //!   write-temp → fsync → rename helper every model/checkpoint/results
 //!   writer in the workspace goes through, so a crash or full disk can
 //!   never leave a truncated artifact behind.
+//! * [`context`] — per-request trace ids ([`context::TraceCtx`], minted
+//!   at connection accept) and the fixed five-stage latency
+//!   [`context::StageBreakdown`] the serving layer attributes a
+//!   request's end-to-end latency to.
+//! * [`prom`] — Prometheus text exposition: [`prom::render`] turns any
+//!   [`metrics::Snapshot`] into scrape-able text (histograms with
+//!   exact integer `le` bounds), [`prom::validate`] is the matching
+//!   checker used by tests and CI.
+//! * [`flight`] — the crash flight recorder: a fixed ring of recent
+//!   events per thread ([`flight::record`]), dumped as JSONL on worker
+//!   panic, poison recovery, or `{"cmd":"dump"}`
+//!   ([`flight::dump_to_file`]).
 //!
 //! ## Determinism contract
 //!
@@ -31,10 +43,14 @@
 //! same single load for overhead A/B measurement (`obs_overhead`
 //! bench).
 
+pub mod context;
+pub mod flight;
 pub mod fsio;
 pub mod metrics;
+pub mod prom;
 pub mod trace;
 
+pub use context::{StageBreakdown, TraceCtx};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use trace::{SpanEvent, SpanGuard};
 

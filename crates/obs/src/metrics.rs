@@ -201,6 +201,13 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Per-bucket sample counts, indexed by bucket (see
+    /// [`bucket_floor`] for a bucket's value range). Exposed for
+    /// exporters that render the full distribution.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Mean of the recorded raw values (0 if empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();

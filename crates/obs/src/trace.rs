@@ -72,6 +72,14 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
+/// The sink mutex is held only across short buffered writes; if a
+/// panicking thread poisoned it anyway, the sink state itself is still
+/// coherent, so recover rather than losing every later span (and the
+/// final flush) to the poison.
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<Sink>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 thread_local! {
     /// Innermost live span id on this thread (0 = none).
     static PARENT: Cell<u64> = const { Cell::new(0) };
@@ -99,7 +107,7 @@ fn thread_id() -> u64 {
 pub fn attach_file(path: &str) -> std::io::Result<()> {
     epoch();
     let file = File::create(path)?;
-    *SINK.lock().expect("trace sink poisoned") = Some(Sink::File(BufWriter::new(file)));
+    *lock_sink() = Some(Sink::File(BufWriter::new(file)));
     ENABLED.store(true, Ordering::Relaxed);
     Ok(())
 }
@@ -108,18 +116,31 @@ pub fn attach_file(path: &str) -> std::io::Result<()> {
 /// previous sink.
 pub fn attach_memory() {
     epoch();
-    *SINK.lock().expect("trace sink poisoned") = Some(Sink::Memory(Vec::new()));
+    *lock_sink() = Some(Sink::Memory(Vec::new()));
     ENABLED.store(true, Ordering::Relaxed);
 }
 
-/// Disables tracing and removes the sink. A file sink is flushed; a
-/// memory sink's buffered events are returned (empty for a file sink or
-/// when nothing was attached).
+/// Flushes the file sink's buffer and fsyncs the file, so every span
+/// recorded so far is durably on disk. No-op for a memory sink or when
+/// nothing is attached. Called on graceful shutdown and from flight
+/// recorder dumps, so a `--log-json` file is never truncated
+/// mid-record when the process dies right after.
+pub fn flush() {
+    if let Some(Sink::File(w)) = lock_sink().as_mut() {
+        let _ = w.flush();
+        let _ = w.get_ref().sync_all();
+    }
+}
+
+/// Disables tracing and removes the sink. A file sink is flushed and
+/// fsynced; a memory sink's buffered events are returned (empty for a
+/// file sink or when nothing was attached).
 pub fn detach() -> Vec<SpanEvent> {
     ENABLED.store(false, Ordering::Relaxed);
-    match SINK.lock().expect("trace sink poisoned").take() {
+    match lock_sink().take() {
         Some(Sink::File(mut w)) => {
             let _ = w.flush();
+            let _ = w.get_ref().sync_all();
             Vec::new()
         }
         Some(Sink::Memory(events)) => events,
@@ -160,7 +181,9 @@ pub fn span_arg(name: &'static str, arg: i64) -> SpanGuard {
 }
 
 fn span_inner(name: &'static str, arg: Option<i64>) -> SpanGuard {
-    if !ENABLED.load(Ordering::Relaxed) {
+    // A span is live if any consumer wants it: a sink, or the flight
+    // recorder (which mirrors closed spans into its ring).
+    if !ENABLED.load(Ordering::Relaxed) && !crate::flight::enabled() {
         return SpanGuard { active: None };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
@@ -186,12 +209,21 @@ impl Drop for SpanGuard {
             start_us,
             dur_us,
         };
-        if let Some(sink) = SINK.lock().expect("trace sink poisoned").as_mut() {
-            match sink {
-                Sink::File(w) => {
-                    let _ = writeln!(w, "{}", event.to_json_line());
+        crate::flight::record(crate::flight::Kind::Span, event.name, 0, || {
+            let mut d = format!("dur_us={}", event.dur_us);
+            if let Some(a) = event.arg {
+                d.push_str(&format!(" arg={a}"));
+            }
+            d
+        });
+        if ENABLED.load(Ordering::Relaxed) {
+            if let Some(sink) = lock_sink().as_mut() {
+                match sink {
+                    Sink::File(w) => {
+                        let _ = writeln!(w, "{}", event.to_json_line());
+                    }
+                    Sink::Memory(events) => events.push(event),
                 }
-                Sink::Memory(events) => events.push(event),
             }
         }
     }
