@@ -48,6 +48,37 @@ struct Row {
     p50_us: u64,
     p99_us: u64,
     cache_hit_rate: f64,
+    /// Open idle sockets parked on the server for the whole timed
+    /// window (the soak arms; 0 everywhere else).
+    idle_conns: usize,
+    /// Process thread-count delta from opening those sockets — the
+    /// evented front end's contract is that this is zero.
+    idle_threads_delta: i64,
+}
+
+/// Current thread count of this process (`/proc/self/status`).
+fn process_threads() -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| s.lines().find_map(|l| l.strip_prefix("Threads:")?.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+/// Soft `RLIMIT_NOFILE` cap (`/proc/self/limits`), so the soak arm
+/// sizes itself instead of dying on EMFILE on constrained runners.
+fn max_open_files() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            let line = s.lines().find(|l| l.starts_with("Max open files"))?;
+            let soft = line.split_whitespace().nth(3)?;
+            if soft == "unlimited" {
+                Some(1 << 20)
+            } else {
+                soft.parse().ok()
+            }
+        })
+        .unwrap_or(1024)
 }
 
 fn measure(
@@ -56,6 +87,7 @@ fn measure(
     numerics: Numerics,
     model: M2G4Rtp,
     dataset: &Dataset,
+    idle_conns: usize,
 ) -> Row {
     let (addr_tx, addr_rx) = channel::<String>();
     struct AddrSink(std::sync::mpsc::Sender<String>, Vec<u8>);
@@ -120,6 +152,16 @@ fn measure(
         }
     }
 
+    // Soak arms: park a herd of idle sockets on the reactor before the
+    // timed window. They never send a byte; the contract under test is
+    // that they cost no threads and no hot-path throughput.
+    let threads_before = process_threads();
+    let mut parked = Vec::with_capacity(idle_conns);
+    for _ in 0..idle_conns {
+        parked.push(TcpStream::connect(&addr).expect("idle connect"));
+    }
+    let idle_threads_delta = process_threads() - threads_before;
+
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..CLIENTS {
@@ -152,6 +194,7 @@ fn measure(
     s.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
     let mut ack = String::new();
     r.read_line(&mut ack).unwrap();
+    drop(parked);
     server.join().expect("server exits");
 
     let requests = CLIENTS * REQUESTS_PER_CLIENT;
@@ -164,6 +207,8 @@ fn measure(
         p50_us: lat.p50,
         p99_us: lat.p99,
         cache_hit_rate,
+        idle_conns,
+        idle_threads_delta,
     }
 }
 
@@ -186,10 +231,10 @@ fn main() {
     // delta is not confounded with cache effects).
     let mut rows: Vec<(Row, f64)> = Vec::new(); // (row, speedup vs exact unbatched same workers)
     for &w in &settings {
-        let off = measure(w, 1, Numerics::Exact, load(), &dataset);
-        let on = measure(w, BATCH_MAX, Numerics::Exact, load(), &dataset);
-        let fast = measure(w, 1, Numerics::Fast, load(), &dataset);
-        let quant = measure(w, 1, Numerics::Quantized, load(), &dataset);
+        let off = measure(w, 1, Numerics::Exact, load(), &dataset, 0);
+        let on = measure(w, BATCH_MAX, Numerics::Exact, load(), &dataset, 0);
+        let fast = measure(w, 1, Numerics::Fast, load(), &dataset, 0);
+        let quant = measure(w, 1, Numerics::Quantized, load(), &dataset, 0);
         let base_off = off.requests_per_sec;
         println!(
             "workers {:>2} unbatched: {:>8.1} req/s  (p50 {:.3} ms, p99 {:.3} ms)",
@@ -228,12 +273,34 @@ fn main() {
         rows.push((quant, quant_speedup));
     }
 
+    // Idle-connection soak: the same 1-worker unbatched arm, measured
+    // back-to-back with and without 1k+ parked idle sockets. The pair
+    // is the honest before/after — the ratio is the throughput cost of
+    // an idle herd on the epoll front end (contract: ~none), and
+    // idle_threads_delta records that the herd consumed no threads.
+    // Sized off RLIMIT_NOFILE (2 fds per in-process connection) so a
+    // constrained runner soaks what it can instead of dying on EMFILE.
+    let soak_n = ((max_open_files().saturating_sub(256)) / 2).min(1500);
+    let soak_base = measure(1, 1, Numerics::Exact, load(), &dataset, 0);
+    let soak = measure(1, 1, Numerics::Exact, load(), &dataset, soak_n);
+    println!(
+        "idle soak: {:>8.1} req/s with {} idle conns vs {:>8.1} req/s with none ({:.2}x, {} extra thread(s))",
+        soak.requests_per_sec,
+        soak.idle_conns,
+        soak_base.requests_per_sec,
+        soak.requests_per_sec / soak_base.requests_per_sec,
+        soak.idle_threads_delta
+    );
+    let soak_ratio = soak.requests_per_sec / soak_base.requests_per_sec;
+    rows.push((soak_base, 1.0));
+    rows.push((soak, soak_ratio));
+
     let base = rows[0].0.requests_per_sec;
     let entries: Vec<String> = rows
         .iter()
         .map(|(r, speedup_vs_unbatched)| {
             format!(
-                "    {{\"workers\": {}, \"batch_max\": {}, \"numerics\": \"{}\", \"requests\": {}, \"requests_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \"speedup_vs_unbatched\": {:.3}, \"cache_hit_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}}}",
+                "    {{\"workers\": {}, \"batch_max\": {}, \"numerics\": \"{}\", \"requests\": {}, \"requests_per_sec\": {:.3}, \"speedup_vs_1\": {:.3}, \"speedup_vs_unbatched\": {:.3}, \"cache_hit_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}, \"idle_conns\": {}, \"idle_threads_delta\": {}}}",
                 r.workers,
                 r.batch_max,
                 r.numerics.as_str(),
@@ -243,7 +310,9 @@ fn main() {
                 speedup_vs_unbatched,
                 r.cache_hit_rate,
                 r.p50_us,
-                r.p99_us
+                r.p99_us,
+                r.idle_conns,
+                r.idle_threads_delta
             )
         })
         .collect();

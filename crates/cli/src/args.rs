@@ -63,12 +63,20 @@ pub enum Command {
         /// Numerics tier: "exact", "fast" or "quantized".
         numerics: String,
     },
-    /// Serve the model over TCP (newline-delimited JSON).
+    /// Serve one or more model shards over TCP (newline-delimited
+    /// JSON).
     Serve {
-        /// Model JSON path.
-        model: String,
+        /// Hosted model shards as `(name, path)` pairs, in `--model`
+        /// order. A single bare `--model PATH` becomes the one shard
+        /// `("default", PATH)`; repeated `--model NAME=PATH` flags
+        /// host a fleet, with the first shard doubling as the default
+        /// for requests without a `"city"` key.
+        models: Vec<(String, String)>,
         /// Dataset JSON path (city/fleet context).
         dataset: String,
+        /// Connection front end: "evented" (epoll reactor, default) or
+        /// "threaded" (legacy blocking acceptor).
+        frontend: String,
         /// TCP port (0 = ephemeral).
         port: u16,
         /// Maximum requests to serve before exiting (0 = forever).
@@ -119,10 +127,16 @@ USAGE:
   rtp predict  --model <model.json> --dataset <dataset.json> --sample <idx> [--beam W]
   rtp evaluate --model <model.json> --dataset <dataset.json> [--numerics exact|fast|quantized]
   rtp serve    --model <model.json> --dataset <dataset.json> [--port P] [--max-requests N]
-               [--workers N] [--idle-timeout-secs S] [--allow-shutdown]
-               [--batch-max N] [--batch-window-us U] [--numerics exact|fast|quantized]
-               [--metrics-file PATH] [--metrics-interval-secs S] [--flight-dump PATH]
+               [--workers N] [--frontend evented|threaded] [--idle-timeout-secs S]
+               [--allow-shutdown] [--batch-max N] [--batch-window-us U]
+               [--numerics exact|fast|quantized] [--metrics-file PATH]
+               [--metrics-interval-secs S] [--flight-dump PATH]
   rtp help
+
+Sharding: `rtp serve` accepts --model repeatedly as NAME=PATH pairs
+(e.g. --model city_a=a.json --model city_b=b.json) to host one model
+per city; request lines pick a shard with a \"city\" key and fall back
+to the first shard without one.
 ";
 
 fn take_value<'a>(
@@ -130,6 +144,46 @@ fn take_value<'a>(
     it: &mut (dyn Iterator<Item = &'a str> + '_),
 ) -> Result<String, ParseError> {
     it.next().map(str::to_string).ok_or_else(|| ParseError(format!("missing value for {flag}")))
+}
+
+/// Resolves the repeated `--model` values of a `serve` invocation into
+/// `(shard_name, path)` pairs.
+///
+/// * one bare `PATH` ⇒ the single shard `("default", PATH)` — the
+///   legacy single-model form;
+/// * one or more `NAME=PATH` pairs ⇒ one shard each, first = default
+///   shard. Names must be non-empty, unique, and metric-safe
+///   (alphanumeric plus `_`/`-`), since they become
+///   `serve.shard.<name>.*` metric names;
+/// * mixing bare and named forms is rejected — a bare path has no
+///   name to route on.
+fn parse_shard_models(models: &[String]) -> Result<Vec<(String, String)>, ParseError> {
+    let (named, bare): (Vec<&String>, Vec<&String>) = models.iter().partition(|m| m.contains('='));
+    if !bare.is_empty() && (!named.is_empty() || bare.len() > 1) {
+        return Err(ParseError(
+            "serve: with multiple shards every --model must be NAME=PATH".into(),
+        ));
+    }
+    if let [path] = bare[..] {
+        return Ok(vec![("default".to_string(), path.clone())]);
+    }
+    let mut shards = Vec::with_capacity(named.len());
+    for m in named {
+        let (name, path) = m.split_once('=').expect("partitioned on '='");
+        if name.is_empty() || path.is_empty() {
+            return Err(ParseError(format!("serve: bad --model `{m}`: expected NAME=PATH")));
+        }
+        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+            return Err(ParseError(format!(
+                "serve: bad shard name `{name}`: use alphanumerics, `_` or `-`"
+            )));
+        }
+        if shards.iter().any(|(n, _)| n == name) {
+            return Err(ParseError(format!("serve: duplicate shard name `{name}`")));
+        }
+        shards.push((name.to_string(), path.to_string()));
+    }
+    Ok(shards)
 }
 
 /// Parses the arguments after the program name.
@@ -141,7 +195,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut seed = 2023u64;
     let mut out = String::new();
     let mut dataset = String::new();
-    let mut model = String::new();
+    let mut models: Vec<String> = Vec::new();
+    let mut frontend = "evented".to_string();
     let mut epochs = 0usize;
     let mut threads = 0usize;
     let mut variant = "full".to_string();
@@ -169,7 +224,17 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             "--seed" => seed = v(&mut it)?.parse().map_err(|_| ParseError("bad --seed".into()))?,
             "--out" => out = v(&mut it)?,
             "--dataset" => dataset = v(&mut it)?,
-            "--model" => model = v(&mut it)?,
+            // Repeatable for `serve` (shards); single-valued commands
+            // take the last occurrence, the historical behaviour.
+            "--model" => models.push(v(&mut it)?),
+            "--frontend" => {
+                frontend = v(&mut it)?;
+                if !["evented", "threaded"].contains(&frontend.as_str()) {
+                    return Err(ParseError(format!(
+                        "unknown frontend `{frontend}` (evented|threaded)"
+                    )));
+                }
+            }
             "--epochs" => {
                 epochs = v(&mut it)?.parse().map_err(|_| ParseError("bad --epochs".into()))?
             }
@@ -230,6 +295,8 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
             Ok(())
         }
     };
+    // Single-model commands take the last --model, as before shards.
+    let model = models.last().cloned().unwrap_or_default();
 
     let command = match sub {
         "generate" => {
@@ -285,8 +352,9 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 return Err(ParseError("--metrics-interval-secs requires --metrics-file".into()));
             }
             Command::Serve {
-                model,
+                models: parse_shard_models(&models)?,
                 dataset,
+                frontend,
                 port,
                 max_requests,
                 workers,
@@ -566,6 +634,76 @@ mod tests {
         }
         assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--numerics", "f16"]).is_err());
         assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--numerics"]).is_err());
+    }
+
+    #[test]
+    fn serve_single_bare_model_is_the_default_shard() {
+        let cli = parse(&["serve", "--model", "m.json", "--dataset", "d.json"]).unwrap();
+        match cli.command {
+            Command::Serve { models, frontend, .. } => {
+                assert_eq!(models, vec![("default".to_string(), "m.json".to_string())]);
+                assert_eq!(frontend, "evented", "epoll front end is the default");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Single-model commands keep last-one-wins semantics.
+        let cli = parse(&["predict", "--model", "a", "--model", "b", "--dataset", "d"]).unwrap();
+        assert!(matches!(cli.command, Command::Predict { ref model, .. } if model == "b"));
+    }
+
+    #[test]
+    fn serve_repeated_named_models_become_shards_in_flag_order() {
+        let cli = parse(&[
+            "serve",
+            "--model",
+            "city_a=a.json",
+            "--model",
+            "city-b=b.json",
+            "--dataset",
+            "d.json",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Serve { models, .. } => {
+                assert_eq!(
+                    models,
+                    vec![
+                        ("city_a".to_string(), "a.json".to_string()),
+                        ("city-b".to_string(), "b.json".to_string()),
+                    ]
+                );
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_malformed_shard_specs() {
+        // Two bare paths: no names to route on.
+        assert!(parse(&["serve", "--model", "a", "--model", "b", "--dataset", "d"]).is_err());
+        // Bare + named mix.
+        assert!(parse(&["serve", "--model", "a", "--model", "x=b", "--dataset", "d"]).is_err());
+        // Empty name / empty path.
+        assert!(parse(&["serve", "--model", "=b", "--dataset", "d"]).is_err());
+        assert!(parse(&["serve", "--model", "a=", "--dataset", "d"]).is_err());
+        // Metric-unsafe shard name.
+        assert!(parse(&["serve", "--model", "a b=c", "--dataset", "d"]).is_err());
+        // Duplicate shard name.
+        assert!(
+            parse(&["serve", "--model", "x=a", "--model", "x=b", "--dataset", "d"]).is_err(),
+            "duplicate shard names must be rejected"
+        );
+    }
+
+    #[test]
+    fn parses_frontend_flag() {
+        for fe in ["evented", "threaded"] {
+            let cli =
+                parse(&["serve", "--model", "m", "--dataset", "d", "--frontend", fe]).unwrap();
+            assert!(matches!(cli.command, Command::Serve { ref frontend, .. } if frontend == fe));
+        }
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--frontend", "poll"]).is_err());
+        assert!(parse(&["serve", "--model", "m", "--dataset", "d", "--frontend"]).is_err());
     }
 
     #[test]

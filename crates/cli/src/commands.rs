@@ -174,11 +174,12 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             Ok(0)
         }
         Command::Serve {
-            model,
+            models,
             dataset,
             port,
             max_requests,
             workers,
+            frontend,
             idle_timeout_secs,
             allow_shutdown,
             batch_max,
@@ -189,11 +190,20 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             flight_dump,
         } => {
             let dataset = load_dataset(&dataset)?;
-            let model = load_model(&model)?;
+            let mut shards = Vec::with_capacity(models.len());
+            for (name, path) in models {
+                shards.push((name, load_model(&path)?));
+            }
+            let frontend = match frontend.as_str() {
+                "threaded" => serve::FrontEnd::Threaded,
+                "evented" => serve::FrontEnd::Evented,
+                other => unreachable!("parser rejects frontend {other}"),
+            };
             let opts = serve::ServeOptions {
                 port,
                 max_requests,
                 workers,
+                frontend,
                 idle_timeout: (idle_timeout_secs > 0)
                     .then(|| std::time::Duration::from_secs(idle_timeout_secs)),
                 allow_shutdown,
@@ -204,7 +214,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 metrics_interval: std::time::Duration::from_secs(metrics_interval_secs),
                 flight_dump: (!flight_dump.is_empty()).then_some(flight_dump),
             };
-            serve::serve(model, dataset, opts, out)
+            serve::serve_sharded(shards, dataset, opts, out)
         }
     }
 }

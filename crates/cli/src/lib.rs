@@ -20,6 +20,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod evented;
 pub mod serve;
 
 pub use args::{Cli, Command, ParseError};

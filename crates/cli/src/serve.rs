@@ -5,14 +5,45 @@
 //!
 //! # Concurrency model
 //!
-//! A fixed pool of worker threads (`--workers N`, `0` = all cores, the
-//! same std-thread scaffolding as `rtp_tensor::parallel`) accepts many
-//! simultaneous connections. The acceptor thread hands each connection
-//! to the pool over an mpsc channel; each worker owns its **own**
-//! [`RtpService`] — one pooled no-grad tape per worker — over one
-//! shared read-only `Arc<M2G4Rtp>`, so inference never contends on a
-//! global mutex and per-worker tape reuse cannot change numerics
-//! (cleared-tape reuse is bit-identical to a fresh tape).
+//! Two front ends feed one fixed pool of worker threads (`--workers
+//! N`, `0` = all cores, the same std-thread scaffolding as
+//! `rtp_tensor::parallel`):
+//!
+//! * **evented** (the default): one reactor thread multiplexes *every*
+//!   client socket through a hand-rolled epoll readiness loop
+//!   ([`crate::evented`]) — nonblocking accept, per-connection read
+//!   buffers with partial-line preservation, idle reaping via a timer
+//!   wheel — and hands connections with complete request lines to the
+//!   pool. An idle connection costs an epoll registration, not a
+//!   thread, so 10k open couriers are as cheap as 10.
+//! * **threaded** (`--frontend threaded`): the legacy blocking
+//!   acceptor that dispatches whole connections to the pool, one
+//!   worker per live connection. Retained both as the fallback and as
+//!   the in-process twin for byte-identity testing of the reactor.
+//!
+//! In both, each worker owns its **own** [`RtpService`] per shard —
+//! one pooled no-grad tape per (worker, shard) lane — over shared
+//! read-only `Arc<M2G4Rtp>`s, so inference never contends on a global
+//! mutex and per-worker tape reuse cannot change numerics
+//! (cleared-tape reuse is bit-identical to a fresh tape). Replies on
+//! one connection keep request order under either front end: the
+//! threaded path is sequential per connection, and the evented path
+//! enforces a per-connection claim (at most one worker drains a
+//! connection's line queue at a time).
+//!
+//! # Shard router (`--model [NAME=]PATH`, repeatable)
+//!
+//! `--model` may be given repeatedly as `NAME=PATH` pairs to serve a
+//! fleet of per-city models from one process — the paper's §VI
+//! deployment story. Each shard loads its own `Arc<M2G4Rtp>`, its own
+//! inference-engine thread (when batching) and its own encoder cache.
+//! Requests carry an optional `"city"` key naming the shard; requests
+//! without one go to the **default shard** (the first `--model`), so
+//! single-model clients are unaffected. An unknown `"city"` is an
+//! error reply naming the hosted shards. Per-shard reply counters
+//! (`serve.shard.<name>.requests` / `.errors`) land in the same
+//! registry — and therefore in `{"cmd":"stats"}`, the Prometheus
+//! exposition and `--metrics-file` — next to the server-wide counters.
 //!
 //! # Micro-batching & encoder cache (`--batch-max`, `--batch-window-us`)
 //!
@@ -48,7 +79,16 @@
 //!   that connection and increments `serve.panics`; the worker's tape
 //!   mutex recovers by swapping in a fresh tape;
 //! * a client idle longer than `--idle-timeout-secs` is reaped
-//!   (`serve.timeouts`), via a polling read timeout on the socket;
+//!   (`serve.timeouts`) — by the reactor's timer wheel on the evented
+//!   front end, by a polling read timeout on the threaded one;
+//! * an accepted connection that cannot be handed to the pool because
+//!   the pool already drained (a shutdown race) is counted as
+//!   `serve.dropped_accepts` and answered with a best-effort
+//!   `shutting down` error line instead of vanishing silently;
+//! * the self-connect poke that wakes a blocked front end at shutdown
+//!   is structurally excluded from connection accounting (both front
+//!   ends check the shutdown flag before dispatching an accepted
+//!   socket), so `serve.connections` counts real clients only;
 //! * shutdown is graceful: when `--max-requests` is reached or an
 //!   in-band `{"cmd":"shutdown"}` arrives (only honoured with
 //!   `--allow-shutdown`), the acceptor stops, in-flight requests
@@ -68,7 +108,14 @@
 //!   `serve.cache.hit_rate` gauge — encoder-cache effectiveness;
 //! * `serve.batch_size` — jobs per batched forward histogram;
 //! * `serve.connections` / `serve.conn_errors` / `serve.panics` /
-//!   `serve.timeouts` — connection lifecycle counters;
+//!   `serve.timeouts` / `serve.dropped_accepts` — connection
+//!   lifecycle counters (real clients only; the shutdown poke is
+//!   excluded by construction);
+//! * `serve.shard.<name>.requests` / `serve.shard.<name>.errors` —
+//!   per-shard reply counters, registered for every hosted shard;
+//! * `serve.trace_id_wraps` — how many times a long-lived connection
+//!   exhausted a 2^20-request trace-id segment and rolled over into a
+//!   fresh one (ids stay globally unique across the rollover);
 //! * `serve.active_connections` — gauge of connections being handled;
 //! * `serve.worker.<i>.requests` — replies written per worker;
 //! * `serve.latency_us` — full-handle latency histogram. The timer
@@ -132,11 +179,13 @@ use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction};
+
+use crate::evented::{self, EvConn, EventSink};
 use rtp_eval::service::{apply_prediction, RtpService};
 use rtp_graph::MultiLevelGraph;
 use rtp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
@@ -261,11 +310,35 @@ impl StatsReply {
     }
 }
 
+/// Which connection front end feeds the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// One epoll reactor thread multiplexes every socket
+    /// ([`crate::evented`]); idle connections cost no threads.
+    #[default]
+    Evented,
+    /// The legacy blocking acceptor: one pooled worker per live
+    /// connection, polling reads. Kept as fallback and as the
+    /// byte-identity twin for the reactor.
+    Threaded,
+}
+
+impl std::fmt::Display for FrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrontEnd::Evented => "evented",
+            FrontEnd::Threaded => "threaded",
+        })
+    }
+}
+
 /// Server configuration (`rtp serve` flags).
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// TCP port (0 = ephemeral).
     pub port: u16,
+    /// Connection front end (`--frontend`): epoll reactor by default.
+    pub frontend: FrontEnd,
     /// Total replies to send before shutting down (0 = forever).
     pub max_requests: usize,
     /// Worker-pool size (0 = all cores).
@@ -315,6 +388,14 @@ struct ServeMetrics {
     conn_errors: Arc<Counter>,
     panics: Arc<Counter>,
     timeouts: Arc<Counter>,
+    /// Accepted sockets the front end could not hand to the worker
+    /// pool (drain race at shutdown): closed with a best-effort error
+    /// line, never silently.
+    dropped_accepts: Arc<Counter>,
+    /// Trace-id segment rollovers across all connections (a connection
+    /// pipelining more than 2^20 requests rolls into a fresh id
+    /// segment instead of aliasing old ids).
+    trace_id_wraps: Arc<Counter>,
     active_connections: Arc<Gauge>,
     latency_us: Arc<Histogram>,
     route_len: Arc<Histogram>,
@@ -350,6 +431,8 @@ impl ServeMetrics {
             conn_errors: registry.counter("serve.conn_errors"),
             panics: registry.counter("serve.panics"),
             timeouts: registry.counter("serve.timeouts"),
+            dropped_accepts: registry.counter("serve.dropped_accepts"),
+            trace_id_wraps: registry.counter("serve.trace_id_wraps"),
             active_connections: registry.gauge("serve.active_connections"),
             latency_us: registry.histogram("serve.latency_us"),
             route_len: registry.histogram("serve.route_len"),
@@ -423,7 +506,37 @@ struct EngineReply {
     finished: Instant,
 }
 
-/// State shared by the acceptor and every worker.
+/// One hosted model shard: its own read-only model, its own encoder
+/// cache (batching only; per-shard because activations from different
+/// models must never cross-pollinate) and its own reply counters.
+/// Shard 0 is the **default shard**: requests without a `"city"` key
+/// route to it, so a single-model server behaves exactly like the
+/// pre-shard versions.
+struct ShardState {
+    name: String,
+    model: Arc<M2G4Rtp>,
+    /// Per-courier encoder cache; `Some` iff batching is enabled.
+    /// Concurrent misses for the same courier may both insert — that is
+    /// a benign lost-update (same fingerprint ⇒ same bits), not an
+    /// invalidation.
+    cache: Option<Mutex<HashMap<usize, Arc<CacheEntry>>>>,
+    /// `serve.shard.<name>.requests` — ok predictions served by this
+    /// shard.
+    requests: Arc<Counter>,
+    /// `serve.shard.<name>.errors` — error replies attributed to this
+    /// shard (routing resolved, prediction failed).
+    errors: Arc<Counter>,
+}
+
+impl ShardState {
+    fn new(name: String, model: Arc<M2G4Rtp>, registry: &Registry, batching: bool) -> Self {
+        let requests = registry.counter(&format!("serve.shard.{name}.requests"));
+        let errors = registry.counter(&format!("serve.shard.{name}.errors"));
+        Self { name, model, cache: batching.then(|| Mutex::new(HashMap::new())), requests, errors }
+    }
+}
+
+/// State shared by the front end and every worker.
 struct ServerShared {
     registry: Registry,
     metrics: ServeMetrics,
@@ -444,17 +557,19 @@ struct ServerShared {
     /// contributes deltas of its own service's stats).
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
-    /// Per-courier encoder cache; `Some` iff batching is enabled.
-    /// Concurrent misses for the same courier may both insert — that is
-    /// a benign lost-update (same fingerprint ⇒ same bits), not an
-    /// invalidation.
-    cache: Option<Mutex<HashMap<usize, Arc<CacheEntry>>>>,
+    /// The hosted model shards; index 0 is the default shard.
+    shards: Vec<ShardState>,
     /// Where a caught panic dumps the flight recorder (`--flight-dump`).
     flight_dump: Option<String>,
 }
 
 impl ServerShared {
-    fn new(registry: Registry, addr: SocketAddr, opts: &ServeOptions) -> Self {
+    fn new(
+        registry: Registry,
+        addr: SocketAddr,
+        opts: &ServeOptions,
+        shards: Vec<ShardState>,
+    ) -> Self {
         let metrics = ServeMetrics::new(&registry);
         Self {
             registry,
@@ -468,9 +583,14 @@ impl ServerShared {
             allow_shutdown: opts.allow_shutdown,
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
-            cache: opts.batching().then(|| Mutex::new(HashMap::new())),
+            shards,
             flight_dump: opts.flight_dump.clone(),
         }
+    }
+
+    /// The comma-separated shard-name list for routing-error messages.
+    fn shard_names(&self) -> String {
+        self.shards.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(", ")
     }
 
     /// Dumps the flight recorder to the `--flight-dump` path (no-op
@@ -485,12 +605,15 @@ impl ServerShared {
         }
     }
 
-    /// Locks the encoder cache (present iff batching is on), recovering
-    /// from poisoning: cache entries are immutable once inserted (only
-    /// whole-entry replacement), so a panicked holder cannot leave a
-    /// half-written entry behind.
-    fn lock_cache(&self) -> Option<std::sync::MutexGuard<'_, HashMap<usize, Arc<CacheEntry>>>> {
-        self.cache.as_ref().map(|c| c.lock().unwrap_or_else(|p| p.into_inner()))
+    /// Locks one shard's encoder cache (present iff batching is on),
+    /// recovering from poisoning: cache entries are immutable once
+    /// inserted (only whole-entry replacement), so a panicked holder
+    /// cannot leave a half-written entry behind.
+    fn lock_cache(
+        &self,
+        shard: usize,
+    ) -> Option<std::sync::MutexGuard<'_, HashMap<usize, Arc<CacheEntry>>>> {
+        self.shards[shard].cache.as_ref().map(|c| c.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Refreshes the `serve.cache.hit_rate` gauge from the counters.
@@ -549,12 +672,17 @@ impl ServerShared {
         self.metrics.active_connections.set(n as f64);
     }
 
-    /// Folds one worker's tape-pool delta into the cross-worker totals
-    /// and refreshes the gauges. `last` is the worker's previous
-    /// reading; `saturating_sub` because tape poison-recovery resets a
-    /// worker's stats to zero.
-    fn refresh_pool(&self, service: &RtpService, last: &Cell<(u64, u64)>) {
-        let (hits, misses) = service.pool_stats();
+    /// Folds one worker's tape-pool delta (summed over its per-shard
+    /// lanes) into the cross-worker totals and refreshes the gauges.
+    /// `last` is the worker's previous reading; `saturating_sub`
+    /// because tape poison-recovery resets a lane's stats to zero.
+    fn refresh_pool(&self, lanes: &[ShardLane], last: &Cell<(u64, u64)>) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for lane in lanes {
+            let (h, m) = lane.service.pool_stats();
+            hits += h;
+            misses += m;
+        }
         let (lh, lm) = last.get();
         last.set((hits, misses));
         let h = self.pool_hits.fetch_add(hits.saturating_sub(lh), Ordering::Relaxed)
@@ -568,32 +696,152 @@ impl ServerShared {
     }
 }
 
-/// One worker's view of the server: its private inference lane plus
-/// the shared state.
-struct WorkerCtx<'a> {
+/// One worker's private inference lane for one shard: its own
+/// [`RtpService`] (pooled no-grad tape) over the shard's model, plus
+/// the job channel into that shard's inference engine (batching only).
+struct ShardLane {
     service: RtpService,
+    infer_tx: Option<Sender<InferJob>>,
+}
+
+/// One worker's view of the server: a private inference lane per shard
+/// plus the shared state.
+struct WorkerCtx<'a> {
+    /// Indexed like `shared.shards`; lane 0 serves the default shard.
+    lanes: Vec<ShardLane>,
     dataset: &'a Dataset,
     shared: &'a ServerShared,
     /// Replies written by this worker (`serve.worker.<i>.requests`).
     replies: Arc<Counter>,
-    /// Last `(hits, misses)` reading of this worker's tape pool.
+    /// Last `(hits, misses)` reading of this worker's tape pools,
+    /// summed across lanes.
     pool_last: Cell<(u64, u64)>,
-    /// Job channel into the inference engine; `Some` iff batching is
-    /// enabled.
-    infer_tx: Option<Sender<InferJob>>,
+}
+
+impl WorkerCtx<'_> {
+    /// Builds one worker's lanes (a service per shard, each cloning
+    /// that shard's engine sender).
+    fn new<'a>(
+        worker_id: usize,
+        dataset: &'a Dataset,
+        shared: &'a ServerShared,
+        numerics: Numerics,
+        job_txs: &[Option<Sender<InferJob>>],
+    ) -> WorkerCtx<'a> {
+        let lanes = shared
+            .shards
+            .iter()
+            .zip(job_txs)
+            .map(|(shard, tx)| ShardLane {
+                service: RtpService::with_numerics(Arc::clone(&shard.model), numerics),
+                infer_tx: tx.clone(),
+            })
+            .collect();
+        WorkerCtx {
+            lanes,
+            dataset,
+            shared,
+            replies: shared.registry.counter(&format!("serve.worker.{worker_id}.requests")),
+            pool_last: Cell::new((0, 0)),
+        }
+    }
+}
+
+/// One unit of worker-pool input, covering both front ends: a whole
+/// connection to own until it closes (threaded), or an evented
+/// connection whose queued lines are drained under its claim.
+enum WorkItem {
+    Conn(TcpStream, TraceCtx),
+    Ev(Arc<EvConn>),
+}
+
+/// Hands an accepted connection to the worker pool. On a drain race —
+/// the pool already exited and the channel is closed — the accepted
+/// socket would otherwise vanish with no counter and no reply: count
+/// it as `serve.dropped_accepts`, answer a best-effort error line, and
+/// report `false` so the acceptor stops.
+fn dispatch_accepted(tx: &Sender<WorkItem>, stream: TcpStream, shared: &ServerShared) -> bool {
+    match tx.send(WorkItem::Conn(stream, TraceCtx::at_accept())) {
+        Ok(()) => true,
+        Err(SendError(item)) => {
+            shared.metrics.dropped_accepts.inc();
+            if let WorkItem::Conn(mut stream, _) = item {
+                let _ = stream
+                    .write_all(b"{\"error\":\"server shutting down: dropped before dispatch\"}\n");
+            }
+            false
+        }
+    }
+}
+
+/// The serve layer's hooks into the epoll reactor: lifecycle counting
+/// plus the hand-off into the worker pool. Only real client
+/// connections reach these callbacks — the reactor checks the shutdown
+/// flag before registering an accepted socket, so the shutdown poke is
+/// never counted and never mints a trace context, which is what lets
+/// the exact-accounting tests assert `serve.connections == clients`.
+struct EventedSink<'a> {
+    shared: &'a ServerShared,
+    tx: Sender<WorkItem>,
+}
+
+impl EventSink for EventedSink<'_> {
+    fn shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    fn conn_opened(&self) {
+        self.shared.conn_started();
+    }
+
+    fn conn_closed(&self) {
+        self.shared.conn_finished();
+    }
+
+    fn conn_error(&self) {
+        self.shared.metrics.conn_errors.inc();
+    }
+
+    fn conn_timeout(&self) {
+        self.shared.metrics.timeouts.inc();
+    }
+
+    fn dropped_dispatch(&self) {
+        self.shared.metrics.dropped_accepts.inc();
+    }
+
+    fn dispatch(&self, conn: Arc<EvConn>) -> bool {
+        self.tx.send(WorkItem::Ev(conn)).is_ok()
+    }
 }
 
 /// Binds a listener, prints `listening on <addr>` to `out`, and serves
-/// with a fixed worker pool until the request budget is spent or an
-/// in-band shutdown arrives. Each connection may pipeline many request
-/// lines. On exit, drains in-flight connections and prints a telemetry
-/// summary (request/error/connection counts, latency percentiles).
+/// a single (default) shard with a fixed worker pool until the request
+/// budget is spent or an in-band shutdown arrives. Each connection may
+/// pipeline many request lines. On exit, drains in-flight connections
+/// and prints a telemetry summary.
 pub fn serve(
     model: M2G4Rtp,
     dataset: Dataset,
     opts: ServeOptions,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
+    serve_sharded(vec![("default".to_string(), model)], dataset, opts, out)
+}
+
+/// The multi-shard entry point behind repeatable `--model`: hosts one
+/// model per `(name, model)` pair, routes request lines by their
+/// optional `"city"` key (absent ⇒ the first shard), and gives every
+/// shard its own inference engine and encoder cache. All shards share
+/// the worker pool, the connection front end and the telemetry
+/// registry.
+pub fn serve_sharded(
+    models: Vec<(String, M2G4Rtp)>,
+    dataset: Dataset,
+    opts: ServeOptions,
+    out: &mut dyn Write,
+) -> std::io::Result<i32> {
+    assert!(!models.is_empty(), "serve_sharded needs at least one model shard");
     let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
     let addr = listener.local_addr()?;
     let workers = resolve_threads(opts.workers).max(1);
@@ -601,6 +849,11 @@ pub fn serve(
     writeln!(out, "workers: {workers}")?;
     out.flush()?;
 
+    if models.len() > 1 {
+        let names = models.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ");
+        writeln!(out, "shards: {names}")?;
+        out.flush()?;
+    }
     if opts.batching() {
         writeln!(
             out,
@@ -616,67 +869,81 @@ pub fn serve(
     // caught panic (or {"cmd":"dump"}) has history to show.
     flight::set_enabled(true);
 
-    let model = Arc::new(model);
-    let shared = ServerShared::new(Registry::new(), addr, &opts);
-    let (tx, rx) = channel::<(TcpStream, TraceCtx)>();
-    // std's Receiver is single-consumer; workers share it behind a
-    // mutex, each holding it only for one blocking `recv`.
-    let rx = Arc::new(Mutex::new(rx));
-    // Job channel into the inference engine (batching only). The
-    // original sender is dropped after the workers clone theirs, so the
-    // engine's `recv` fails — and the engine exits — exactly when the
-    // last worker has exited.
-    let (job_tx, job_rx) = channel::<InferJob>();
-    let job_tx = opts.batching().then_some(job_tx);
+    let registry = Registry::new();
+    let shards: Vec<ShardState> = models
+        .into_iter()
+        .map(|(name, model)| ShardState::new(name, Arc::new(model), &registry, opts.batching()))
+        .collect();
+    let shared = ServerShared::new(registry, addr, &opts, shards);
 
-    std::thread::scope(|scope| {
+    // One job channel per shard into that shard's inference engine
+    // (batching only). The original senders are dropped after the
+    // workers clone theirs, so each engine's `recv` fails — and the
+    // engine exits — exactly when the last worker has exited.
+    let mut job_txs: Vec<Option<Sender<InferJob>>> = Vec::new();
+    let mut job_rxs: Vec<Option<Receiver<InferJob>>> = Vec::new();
+    for _ in &shared.shards {
         if opts.batching() {
+            let (tx, rx) = channel::<InferJob>();
+            job_txs.push(Some(tx));
+            job_rxs.push(Some(rx));
+        } else {
+            job_txs.push(None);
+            job_rxs.push(None);
+        }
+    }
+
+    let frontend_result = std::thread::scope(|scope| {
+        for (shard, rx) in shared.shards.iter().zip(job_rxs) {
+            let Some(rx) = rx else { continue };
             let shared = &shared;
-            let model = Arc::clone(&model);
             let window = opts.batch_window;
             let batch_max = opts.batch_max;
             let numerics = opts.numerics;
             scope.spawn(move || {
-                run_inference_engine(&model, job_rx, window, batch_max, numerics, shared)
+                run_inference_engine(shard, rx, window, batch_max, numerics, shared)
             });
-        } else {
-            drop(job_rx);
         }
+
+        // The worker pool: one channel of WorkItems serves both front
+        // ends. std's Receiver is single-consumer; workers share it
+        // behind a mutex, each holding it only for one blocking `recv`.
+        let (tx, rx) = channel::<WorkItem>();
+        let rx = Arc::new(Mutex::new(rx));
         for worker_id in 0..workers {
             let rx = Arc::clone(&rx);
             let shared = &shared;
             let dataset = &dataset;
-            let service = RtpService::with_numerics(Arc::clone(&model), opts.numerics);
-            let infer_tx = job_tx.clone();
+            let numerics = opts.numerics;
+            // Each worker clones the per-shard engine senders, so the
+            // originals can drop below and tie engine lifetime to the
+            // workers'.
+            let worker_job_txs: Vec<Option<Sender<InferJob>>> = job_txs.to_vec();
             scope.spawn(move || {
-                let ctx = WorkerCtx {
-                    service,
-                    dataset,
-                    shared,
-                    replies: shared.registry.counter(&format!("serve.worker.{worker_id}.requests")),
-                    pool_last: Cell::new((0, 0)),
-                    infer_tx,
-                };
+                let ctx = WorkerCtx::new(worker_id, dataset, shared, numerics, &worker_job_txs);
                 loop {
-                    // Blocks until a connection arrives or the acceptor
-                    // drops the sender (shutdown + queue drained).
+                    // Blocks until work arrives or the front end drops
+                    // the sender (shutdown + queue drained).
                     let next = match rx.lock() {
                         Ok(guard) => guard.recv(),
                         Err(_) => break,
                     };
-                    let Ok((stream, trace)) = next else { break };
-                    shared.conn_started();
-                    let result = handle_connection(&ctx, stream, trace);
-                    shared.conn_finished();
-                    if result.is_err() {
-                        shared.metrics.conn_errors.inc();
+                    match next {
+                        Ok(WorkItem::Conn(stream, trace)) => {
+                            shared.conn_started();
+                            let result = handle_connection(&ctx, stream, trace);
+                            shared.conn_finished();
+                            if result.is_err() {
+                                shared.metrics.conn_errors.inc();
+                            }
+                        }
+                        Ok(WorkItem::Ev(conn)) => drain_evented_conn(&ctx, &conn),
+                        Err(_) => break,
                     }
                 }
             });
         }
-        // Workers hold their own clones; dropping the original ties the
-        // engine's lifetime to the workers'.
-        drop(job_tx);
+        drop(job_txs);
 
         // Periodic Prometheus snapshot writer (--metrics-file). Sleeps
         // in POLL_INTERVAL slices so shutdown is honoured promptly; the
@@ -701,28 +968,45 @@ pub fn serve(
             });
         }
 
-        // Acceptor: dispatch until shutdown. The shutdown poke is
-        // itself a connection, consumed by the flag check. Every
-        // accepted connection gets its trace context here, so trace
-        // ids cover the full dispatch path including queueing for a
-        // worker.
-        for stream in listener.incoming() {
-            if shared.shutting_down() {
-                break;
+        let result = match opts.frontend {
+            FrontEnd::Evented => {
+                // The reactor runs on this thread (where the blocking
+                // acceptor used to live) and owns `tx` through the
+                // sink; returning drops it, which drains the workers.
+                let sink = EventedSink { shared: &shared, tx };
+                evented::run(&listener, opts.idle_timeout, &sink)
             }
-            match stream {
-                Ok(s) => {
-                    if tx.send((s, TraceCtx::at_accept())).is_err() {
+            FrontEnd::Threaded => {
+                // Legacy acceptor: dispatch whole connections until
+                // shutdown. The shutdown poke is consumed by the flag
+                // check before dispatch, so it is never counted.
+                for stream in listener.incoming() {
+                    if shared.shutting_down() {
                         break;
                     }
+                    match stream {
+                        Ok(s) => {
+                            if !dispatch_accepted(&tx, s, &shared) {
+                                break;
+                            }
+                        }
+                        Err(_) => shared.metrics.conn_errors.inc(),
+                    }
                 }
-                Err(_) => shared.metrics.conn_errors.inc(),
+                // Closing the channel lets idle workers exit; busy
+                // workers finish their in-flight connections (drain).
+                drop(tx);
+                Ok(())
             }
+        };
+        // A reactor-fatal error must still release the snapshot-writer
+        // thread (it polls the shutdown flag) so the scope can join.
+        if result.is_err() {
+            shared.shutdown.store(true, Ordering::SeqCst);
         }
-        // Closing the channel lets idle workers exit; busy workers
-        // finish their in-flight connections first (drain).
-        drop(tx);
+        result
     });
+    frontend_result?;
 
     // Graceful-shutdown durability (S2): everything traced so far is
     // flushed and fsynced, and the exported snapshot reflects the full
@@ -741,6 +1025,17 @@ pub fn serve(
         m.errors.get(),
         m.stats.get()
     )?;
+    if shared.shards.len() > 1 {
+        for s in &shared.shards {
+            writeln!(
+                out,
+                "shard {}: {} ok, {} error(s)",
+                s.name,
+                s.requests.get(),
+                s.errors.get()
+            )?;
+        }
+    }
     writeln!(
         out,
         "connections: {} handled, {} conn error(s), {} panic(s), {} timeout(s)",
@@ -749,6 +1044,9 @@ pub fn serve(
         m.panics.get(),
         m.timeouts.get()
     )?;
+    if m.dropped_accepts.get() > 0 {
+        writeln!(out, "dropped accepts: {}", m.dropped_accepts.get())?;
+    }
     let snap = shared.registry.snapshot();
     let ms = |v: u64| v as f64 / 1000.0;
     if let Some(lat) = snap.histograms.get("serve.latency_us").filter(|l| l.count() > 0) {
@@ -783,8 +1081,10 @@ fn write_metrics_file(path: &str, shared: &ServerShared) {
     }
 }
 
-/// The inference engine: collects [`InferJob`]s into micro-batches and
-/// runs one batched forward per batch on its own pooled no-grad tape.
+/// One shard's inference engine: collects [`InferJob`]s into
+/// micro-batches and runs one batched forward per batch on its own
+/// pooled no-grad tape over that shard's model. With multiple shards,
+/// one engine thread runs per shard — batches never mix models.
 ///
 /// Batch formation: block for the first job, then keep accepting jobs
 /// until `batch_max` are queued or `window` has elapsed since the first
@@ -793,15 +1093,16 @@ fn write_metrics_file(path: &str, shared: &ServerShared) {
 /// reply senders are dropped, so each waiting worker answers an
 /// internal-error line for its own request; the engine keeps serving.
 ///
-/// Exits when every worker's job sender is gone.
+/// Exits when every worker's job sender for this shard is gone.
 fn run_inference_engine(
-    model: &M2G4Rtp,
-    jobs: std::sync::mpsc::Receiver<InferJob>,
+    shard: &ShardState,
+    jobs: Receiver<InferJob>,
     window: Duration,
     batch_max: usize,
     numerics: Numerics,
     shared: &ServerShared,
 ) {
+    let model = &*shard.model;
     let mut tape = model.inference_tape(numerics);
     while let Ok(first) = jobs.recv() {
         // Per-job dequeue times: job i's queue_wait ends (and its
@@ -852,7 +1153,7 @@ fn run_inference_engine(
                 let size = batch.len();
                 for job in &batch {
                     flight::record(flight::Kind::Panic, "serve.engine", job.trace_id, || {
-                        format!("batched forward panicked (batch of {size})")
+                        format!("batched forward panicked (batch of {size}, shard {})", shard.name)
                     });
                 }
                 shared.dump_flight();
@@ -940,7 +1241,7 @@ fn handle_connection(
         if !ctx.shared.claim_reply() {
             return Ok(()); // budget spent — close unanswered
         }
-        let trace_id = trace.next_request();
+        let trace_id = next_trace_id(ctx.shared, &mut trace);
         // Fault isolation: a panic anywhere in parse/predict/serialize
         // must not unwind through the worker loop. The worker's tape
         // mutex is poison-recovered by RtpService on the next request.
@@ -992,6 +1293,89 @@ fn handle_connection(
     }
 }
 
+/// Mints the next trace id on a connection, surfacing a sequence
+/// rollover (a fresh globally-unique id segment after 2^20 requests)
+/// as `serve.trace_id_wraps`.
+fn next_trace_id(shared: &ServerShared, trace: &mut TraceCtx) -> u64 {
+    let before = trace.rollovers();
+    let id = trace.next_request();
+    if trace.rollovers() > before {
+        shared.metrics.trace_id_wraps.inc();
+    }
+    id
+}
+
+/// Drains one evented connection's queued request lines under its
+/// claim (the reactor dispatched it because its queue went non-empty;
+/// no other worker touches it until the claim is released by the final
+/// `pop_line`). Replies are written directly to the shared nonblocking
+/// socket; a close is signalled back to the reactor via the dead flag
+/// + socket shutdown, never by dropping the fd out from under it.
+fn drain_evented_conn(ctx: &WorkerCtx<'_>, conn: &EvConn) {
+    while let Some(line) = conn.pop_line() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !ctx.shared.claim_reply() {
+            conn.close(); // budget spent — close unanswered
+            return;
+        }
+        let trace_id = {
+            let mut trace = conn.trace.lock().unwrap_or_else(|p| p.into_inner());
+            next_trace_id(ctx.shared, &mut trace)
+        };
+        // Fault isolation: a panic anywhere in parse/predict/serialize
+        // must not unwind through the worker loop (the lane's tape
+        // mutex is poison-recovered by RtpService on the next request).
+        let reply = catch_unwind(AssertUnwindSafe(|| handle_line(ctx, line, trace_id)));
+        match reply {
+            Ok(Reply::Line(mut body, stages)) => {
+                body.push('\n');
+                // Count before the write lands: a client must never
+                // observe a reply whose counters haven't settled.
+                ctx.replies.inc();
+                let wire_t0 = Instant::now();
+                if conn.write_reply(body.as_bytes()).is_err() {
+                    ctx.shared.metrics.conn_errors.inc();
+                    conn.close();
+                    ctx.shared.after_reply();
+                    return;
+                }
+                if let Some(ser_us) = stages {
+                    let wire_us = wire_t0.elapsed().as_micros() as u64;
+                    ctx.shared.metrics.stages[4].record(ser_us + wire_us);
+                }
+                ctx.shared.after_reply();
+            }
+            Ok(Reply::ShutdownAck(mut body)) => {
+                body.push('\n');
+                ctx.replies.inc();
+                let _ = conn.write_reply(body.as_bytes());
+                conn.close();
+                ctx.shared.trigger_shutdown();
+                return;
+            }
+            Err(_) => {
+                ctx.shared.metrics.panics.inc();
+                flight::record(flight::Kind::Panic, "serve.worker", trace_id, || {
+                    format!("request handler panicked on line of {} byte(s)", line.len())
+                });
+                ctx.shared.dump_flight();
+                let mut err = serde_json::to_string(&ServeError {
+                    error: "internal error: request handler panicked; connection closed".into(),
+                })
+                .expect("serialise error");
+                err.push('\n');
+                // Best effort — the client may already be gone.
+                let _ = conn.write_reply(err.as_bytes());
+                conn.close();
+                return;
+            }
+        }
+    }
+}
+
 /// A reply line, plus whether it also requests server shutdown. An ok
 /// prediction carries `Some(serialization_us)` so the connection loop
 /// can fold the socket write into the `serve.stage.write_us` sample.
@@ -1036,7 +1420,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
         return match cmd.as_str() {
             Some("stats") => {
                 metrics.stats.inc();
-                shared.refresh_pool(&ctx.service, &ctx.pool_last);
+                shared.refresh_pool(&ctx.lanes, &ctx.pool_last);
                 // The global registry carries process-wide metrics
                 // (matmul kernel counters, training gauges); merging
                 // demonstrates snapshot associativity in anger.
@@ -1049,7 +1433,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             }
             Some("metrics") => {
                 metrics.stats.inc();
-                shared.refresh_pool(&ctx.service, &ctx.pool_last);
+                shared.refresh_pool(&ctx.lanes, &ctx.pool_last);
                 let text = rtp_obs::prom::render(&merged_snapshot(shared));
                 Reply::Line(
                     serde_json::to_string(&MetricsReply { metrics: text })
@@ -1092,28 +1476,53 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             )),
         };
     }
+    // Shard routing: an optional `"city"` key names the model shard;
+    // absent means the default shard (index 0), so legacy single-model
+    // clients see the exact pre-shard behaviour. Routing resolves
+    // before query parsing so an unknown city is reported as such even
+    // if the rest of the line is also malformed.
+    let shard_idx = match value.get("city") {
+        None => 0,
+        Some(serde::Value::Str(name)) => match shared.shards.iter().position(|s| s.name == *name) {
+            Some(i) => i,
+            None => {
+                return err_line(format!(
+                    "unknown city `{name}`: this server hosts {}",
+                    shared.shard_names()
+                ))
+            }
+        },
+        Some(_) => return err_line("bad request: `city` must be a string shard name".into()),
+    };
+    let shard = &shared.shards[shard_idx];
+    // Post-routing errors are attributed to the shard as well as the
+    // server-wide counter.
+    let shard_err = |msg: String| {
+        shard.errors.inc();
+        err_line(msg)
+    };
     match RtpQuery::from_value(&value) {
-        Err(e) => err_line(format!("bad request: {e}")),
-        Ok(query) if query.orders.is_empty() => err_line("bad request: empty order set".into()),
+        Err(e) => shard_err(format!("bad request: {e}")),
+        Ok(query) if query.orders.is_empty() => shard_err("bad request: empty order set".into()),
         Ok(query) => {
             // A wrong courier must be an error, not a silent
             // courier-0 prediction served as success.
             let Some(courier) = ctx.dataset.couriers.get(query.courier_id) else {
-                return err_line(format!(
+                return shard_err(format!(
                     "unknown courier_id {} (dataset has {} couriers)",
                     query.courier_id,
                     ctx.dataset.couriers.len()
                 ));
             };
-            let (prediction, mut stages) = match predict_query(ctx, line, courier, &query, trace_id)
-            {
-                Ok(p) => p,
-                Err(e) => return err_line(e),
-            };
+            let (prediction, mut stages) =
+                match predict_query(ctx, shard_idx, line, courier, &query, trace_id) {
+                    Ok(p) => p,
+                    Err(e) => return shard_err(e),
+                };
             let pred_done = Instant::now();
             let app = match apply_prediction(&query, &prediction) {
                 Ok(app) => app,
-                Err(e) => return err_line(format!("internal error: {e}")),
+                Err(e) => return shard_err(format!("internal error: {e}")),
             };
             let body = serde_json::to_string(&ServeBody {
                 eta_minutes: app.etas.iter().map(|e| e.eta_minutes).collect(),
@@ -1135,27 +1544,36 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             metrics.latency_us.record(latency_us);
             metrics.route_len.record(query.orders.len() as u64);
             metrics.requests.inc();
+            shard.requests.inc();
             metrics.record_stages(&stages);
-            match ctx.service.numerics() {
+            let numerics = ctx.lanes[shard_idx].service.numerics();
+            match numerics {
                 Numerics::Exact => metrics.req_exact.inc(),
                 Numerics::Fast => metrics.req_fast.inc(),
                 Numerics::Quantized => metrics.req_quantized.inc(),
             }
             flight::record(flight::Kind::Request, "serve.request", trace_id, || {
                 format!(
-                    "courier={} orders={} latency_us={latency_us}",
+                    "courier={} orders={} shard={} latency_us={latency_us}",
                     query.courier_id,
-                    query.orders.len()
+                    query.orders.len(),
+                    shard.name
                 )
             });
-            shared.refresh_pool(&ctx.service, &ctx.pool_last);
+            shared.refresh_pool(&ctx.lanes, &ctx.pool_last);
             let latency_ms = latency_us as f64 / 1000.0;
             // A client that sent "trace": true gets the id and the
-            // stage breakdown echoed; otherwise the reply bytes are
+            // stage breakdown echoed (plus the serving shard on a
+            // multi-shard server); otherwise the reply bytes are
             // exactly the untraced shape.
             let traced = matches!(value.get("trace"), Some(serde::Value::Bool(true)));
             let trace_tag = if traced {
-                format!(",\"trace_id\":{trace_id},\"stages\":{}", stages.to_json())
+                let shard_tag = if shared.shards.len() > 1 {
+                    format!(",\"shard\":\"{}\"", shard.name)
+                } else {
+                    String::new()
+                };
+                format!(",\"trace_id\":{trace_id}{shard_tag},\"stages\":{}", stages.to_json())
             } else {
                 String::new()
             };
@@ -1164,7 +1582,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             // Non-default numerics tiers also tag the reply so a client
             // can tell approximate answers apart; the default tier
             // keeps the exact reply shape of earlier versions.
-            match ctx.service.numerics() {
+            match numerics {
                 Numerics::Exact => Reply::Line(
                     format!("{{\"latency_ms\":{latency_ms}{trace_tag},{}", &body[1..]),
                     Some(ser_us),
@@ -1205,6 +1623,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
 /// latency back to this worker.
 fn predict_query(
     ctx: &WorkerCtx<'_>,
+    shard_idx: usize,
     line: &str,
     courier: &rtp_sim::Courier,
     query: &RtpQuery,
@@ -1212,16 +1631,17 @@ fn predict_query(
 ) -> Result<(Prediction, StageBreakdown), String> {
     let shared = ctx.shared;
     let metrics = &shared.metrics;
+    let lane = &ctx.lanes[shard_idx];
     let mut stages = StageBreakdown::default();
-    let Some(infer_tx) = &ctx.infer_tx else {
-        let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
+    let Some(infer_tx) = &lane.infer_tx else {
+        let graph = lane.service.build_graph(&ctx.dataset.city, courier, query);
         let t0 = Instant::now();
-        let prediction = ctx.service.predict(&graph);
+        let prediction = lane.service.predict(&graph);
         stages.forward_us = t0.elapsed().as_micros() as u64;
         return Ok((prediction, stages));
     };
     let cached = shared
-        .lock_cache()
+        .lock_cache(shard_idx)
         .expect("batching implies a cache")
         .get(&query.courier_id)
         .filter(|e| e.fingerprint == line)
@@ -1230,13 +1650,13 @@ fn predict_query(
         metrics.cache_hits.inc();
         shared.refresh_cache_rate();
         let t0 = Instant::now();
-        let prediction = ctx.service.predict_encoded(&entry.graph, &entry.enc);
+        let prediction = lane.service.predict_encoded(&entry.graph, &entry.enc);
         stages.forward_us = t0.elapsed().as_micros() as u64;
         return Ok((prediction, stages));
     }
     metrics.cache_misses.inc();
     shared.refresh_cache_rate();
-    let graph = ctx.service.build_graph(&ctx.dataset.city, courier, query);
+    let graph = lane.service.build_graph(&ctx.dataset.city, courier, query);
     let (reply_tx, reply_rx) = channel();
     infer_tx
         .send(InferJob { graph, trace_id, enqueued: Instant::now(), reply: reply_tx })
@@ -1251,7 +1671,7 @@ fn predict_query(
     stages.forward_us = forward_us;
     stages.demux_us = finished.elapsed().as_micros() as u64;
     let entry = Arc::new(CacheEntry { fingerprint: line.to_string(), graph, enc });
-    let mut cache = shared.lock_cache().expect("batching implies a cache");
+    let mut cache = shared.lock_cache(shard_idx).expect("batching implies a cache");
     if let Some(old) = cache.insert(query.courier_id, entry) {
         // Same-fingerprint replacement is a concurrent-miss race, not
         // a route-state change.
@@ -1260,4 +1680,75 @@ fn predict_query(
         }
     }
     Ok((prediction, stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_shared() -> (TcpListener, ServerShared) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shared = ServerShared::new(Registry::new(), addr, &ServeOptions::default(), Vec::new());
+        (listener, shared)
+    }
+
+    #[test]
+    fn drain_race_counts_dropped_accepts_and_answers_best_effort() {
+        let (listener, shared) = bare_shared();
+        let addr = shared.addr;
+        // A channel whose receiver is already gone models the worker
+        // pool having drained between accept and dispatch.
+        let (tx, rx) = channel::<WorkItem>();
+        drop(rx);
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (accepted, _) = listener.accept().expect("accept");
+        assert!(!dispatch_accepted(&tx, accepted, &shared), "drain race must stop the acceptor");
+        assert_eq!(shared.metrics.dropped_accepts.get(), 1, "dropped accept must be counted");
+        assert_eq!(shared.metrics.connections.get(), 0, "never dispatched, never a connection");
+        // The client gets a best-effort explanation, then EOF.
+        let mut reply = String::new();
+        use std::io::Read as _;
+        client.read_to_string(&mut reply).expect("read reply");
+        assert!(reply.contains("shutting down"), "best-effort error line, got: {reply:?}");
+    }
+
+    #[test]
+    fn evented_dispatch_drain_race_counts_dropped_accepts() {
+        let (listener, shared) = bare_shared();
+        let addr = shared.addr;
+        let (tx, rx) = channel::<WorkItem>();
+        drop(rx);
+        let sink = EventedSink { shared: &shared, tx };
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (accepted, _) = listener.accept().expect("accept");
+        let conn = Arc::new(EvConn::for_test(accepted));
+        assert!(!sink.dispatch(Arc::clone(&conn)), "drained pool refuses dispatch");
+        // The reactor's queue_lines reacts to a failed dispatch by
+        // counting and closing; mirror that protocol here.
+        sink.dropped_dispatch();
+        conn.close();
+        assert_eq!(shared.metrics.dropped_accepts.get(), 1);
+        assert!(conn.is_dead());
+    }
+
+    #[test]
+    fn trace_id_wrap_rolls_to_fresh_segment_and_counts() {
+        let (_listener, shared) = bare_shared();
+        let mut trace = TraceCtx::at_accept();
+        let first = next_trace_id(&shared, &mut trace);
+        // Exhaust the remainder of the segment: a segment spans seq
+        // 1..=2^20-1, so after `first` there are 2^20 - 2 ids left.
+        let seq_span = 1u64 << rtp_obs::SEQ_BITS;
+        let mut last = first;
+        for _ in 2..seq_span {
+            last = next_trace_id(&shared, &mut trace);
+        }
+        assert_eq!(shared.metrics.trace_id_wraps.get(), 0, "still inside the first segment");
+        assert_eq!(last, first + seq_span - 2, "consecutive ids within the segment");
+        let rolled = next_trace_id(&shared, &mut trace);
+        assert_eq!(shared.metrics.trace_id_wraps.get(), 1, "rollover must be surfaced");
+        assert_ne!(rolled, first, "request 2^20+1 must not alias request 1");
+        assert!(rolled >> rtp_obs::SEQ_BITS > first >> rtp_obs::SEQ_BITS, "fresh segment");
+    }
 }

@@ -1,0 +1,176 @@
+//! End-to-end tests of the epoll (evented) connection front end: twin
+//! byte-identity against the legacy thread-per-connection server,
+//! partial-line reassembly across readiness events, and the
+//! shutdown-poke accounting fix (`serve.connections` counts real
+//! clients only). The 1k-idle soak lives in its own binary
+//! (`cli_soak.rs`) so its process-wide thread-count assertions don't
+//! race other tests.
+
+mod common;
+
+use common::{
+    query_line, start_server, strip_latency, strip_trace, traced_query_line, trained_model, Client,
+};
+use m2g4rtp::M2G4Rtp;
+use rtp_cli::serve::{FrontEnd, ServeOptions};
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Replies from the evented front end must be byte-identical to the
+/// threaded front end — same weights, same queries, same error lines —
+/// after stripping the nondeterministic latency/trace fields. The
+/// reactor is a transport change only; the protocol surface is pinned
+/// by its twin.
+#[test]
+fn evented_replies_are_byte_identical_to_the_threaded_front_end() {
+    let (dataset, model) = trained_model(211);
+    let saved = model.to_saved();
+    let load = || M2G4Rtp::from_saved(saved.clone());
+
+    let evented = start_server(
+        load(),
+        dataset.clone(),
+        ServeOptions { frontend: FrontEnd::Evented, ..Default::default() },
+    );
+    let threaded = start_server(
+        load(),
+        dataset.clone(),
+        ServeOptions { frontend: FrontEnd::Threaded, ..Default::default() },
+    );
+
+    let mut ec = Client::connect(&evented.addr);
+    let mut tc = Client::connect(&threaded.addr);
+    for k in 0..6 {
+        let line = query_line(&dataset, k);
+        let er = strip_latency(&ec.round_trip(&line));
+        let tr = strip_latency(&tc.round_trip(&line));
+        assert_eq!(er, tr, "query {k}: front ends disagree");
+
+        let traced = traced_query_line(&dataset, k);
+        let er = strip_latency(&strip_trace(&ec.round_trip(&traced)));
+        let tr = strip_latency(&strip_trace(&tc.round_trip(&traced)));
+        assert_eq!(er, tr, "traced query {k}: front ends disagree");
+    }
+    // Error replies are part of the protocol surface too.
+    for bad in ["not json", "{\"cmd\":\"frobnicate\"}", "{\"orders\":[]}"] {
+        assert_eq!(
+            ec.round_trip(bad),
+            tc.round_trip(bad),
+            "error reply for {bad:?}: front ends disagree"
+        );
+    }
+}
+
+/// A pipelined burst (all requests written before any reply is read)
+/// must come back in request order on the evented path, exactly as the
+/// blocking loop answered it.
+#[test]
+fn evented_pipelined_burst_replies_in_request_order() {
+    let (dataset, model) = trained_model(223);
+    let server = start_server(model, dataset.clone(), ServeOptions::default());
+    let mut client = Client::connect(&server.addr);
+
+    let mut expected = Vec::new();
+    for k in 0..8 {
+        client.send(&query_line(&dataset, k));
+        expected.push(k);
+    }
+    let mut singles = Client::connect(&server.addr);
+    for k in expected {
+        let burst = strip_latency(&client.recv());
+        let single = strip_latency(&singles.round_trip(&query_line(&dataset, k)));
+        assert_eq!(burst, single, "burst reply {k} out of order or corrupted");
+    }
+}
+
+/// A client that dribbles one request byte-per-write across many
+/// readiness events must still get exactly one (correct) reply: the
+/// reactor's per-connection buffer reassembles partial lines.
+#[test]
+fn dribbled_request_bytes_reassemble_into_one_request() {
+    let (dataset, model) = trained_model(227);
+    let server = start_server(model, dataset.clone(), ServeOptions::default());
+
+    let mut reference = Client::connect(&server.addr);
+    let line = query_line(&dataset, 0);
+    let want = strip_latency(&reference.round_trip(&line));
+
+    let mut dribbler = Client::connect(&server.addr);
+    let bytes = format!("{line}\n");
+    for (i, chunk) in bytes.as_bytes().chunks(1).enumerate() {
+        dribbler.stream.write_all(chunk).expect("dribble byte");
+        // Pause every few bytes so the kernel delivers separate
+        // readiness events instead of coalescing the whole line.
+        if i % 64 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert_eq!(strip_latency(&dribbler.recv()), want, "dribbled request corrupted");
+
+    // A complete line and a partial one in a single write: the
+    // complete line is answered now, the tail once its newline lands.
+    let (head, tail) = bytes.as_bytes().split_at(bytes.len() / 2);
+    let mut mixed = Client::connect(&server.addr);
+    mixed.send_partial(format!("{line}\n").as_bytes());
+    mixed.send_partial(head);
+    assert_eq!(strip_latency(&mixed.recv()), want, "complete line in mixed write");
+    std::thread::sleep(Duration::from_millis(20));
+    mixed.send_partial(tail);
+    assert_eq!(strip_latency(&mixed.recv()), want, "split line completed later");
+}
+
+/// The shutdown self-connect poke must not be visible in connection
+/// accounting: with two real clients, the summary says exactly
+/// `connections: 2 handled` — on both front ends (the bug was the
+/// threaded acceptor's; the reactor must not reintroduce it).
+#[test]
+fn shutdown_poke_is_excluded_from_connection_accounting() {
+    for frontend in [FrontEnd::Evented, FrontEnd::Threaded] {
+        let (dataset, model) = trained_model(229);
+        // Two workers: the threaded front end parks a worker on each
+        // open connection, and both clients stay open concurrently.
+        let server = start_server(
+            model,
+            dataset.clone(),
+            ServeOptions { allow_shutdown: true, frontend, workers: 2, ..Default::default() },
+        );
+
+        let mut c1 = Client::connect(&server.addr);
+        let r = c1.round_trip(&query_line(&dataset, 0));
+        assert!(r.contains("sorted_orders"), "{frontend:?}: {r}");
+        let mut c2 = Client::connect(&server.addr);
+        let ack = c2.round_trip("{\"cmd\":\"shutdown\"}");
+        assert!(ack.contains("shutting down"), "{frontend:?}: {ack}");
+
+        let summary = server.shutdown_summary();
+        assert!(
+            summary.contains("connections: 2 handled"),
+            "{frontend:?}: poke leaked into accounting:\n{summary}"
+        );
+    }
+}
+
+/// A connection that dies mid-line (bytes sent, no newline, then EOF)
+/// must cost only itself: the server stays healthy for the next
+/// client and exits cleanly.
+#[test]
+fn eof_with_unterminated_partial_line_is_contained() {
+    let (dataset, model) = trained_model(233);
+    let server = start_server(
+        model,
+        dataset.clone(),
+        ServeOptions { allow_shutdown: true, ..Default::default() },
+    );
+
+    let mut half = Client::connect(&server.addr);
+    half.send_partial(b"{\"orders\":");
+    drop(half);
+
+    // The server keeps answering.
+    let mut client = Client::connect(&server.addr);
+    let r = client.round_trip(&query_line(&dataset, 1));
+    assert!(r.contains("sorted_orders"), "{r}");
+    let ack = client.round_trip("{\"cmd\":\"shutdown\"}");
+    assert!(ack.contains("shutting down"), "{ack}");
+    server.shutdown_summary();
+}

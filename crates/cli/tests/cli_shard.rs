@@ -1,0 +1,178 @@
+//! End-to-end tests of the per-city shard router: repeatable `--model
+//! NAME=PATH` hosts one model per shard, request lines route by their
+//! `"city"` key (absent ⇒ the first shard), and every shard owns its
+//! own counters in stats, Prometheus exposition and the shutdown
+//! summary.
+
+mod common;
+
+use common::{
+    city_query_line, query_line, start_server, start_sharded_server, strip_latency, strip_trace,
+    trained_model, Client,
+};
+use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
+use rtp_cli::serve::{MetricsReply, ServeOptions, StatsReply};
+use rtp_sim::Dataset;
+
+/// Two models over one dataset with distinguishable outputs: shard
+/// `a` is the usual 1-epoch model, shard `b` is trained from a
+/// different init seed (routes/ETAs differ on at least one test
+/// query — asserted, not assumed, by the routing test).
+fn two_city_fleet(seed: u64) -> (Dataset, M2G4Rtp, M2G4Rtp) {
+    let (dataset, model_a) = trained_model(seed);
+    let mut cfg = ModelConfig::for_dataset(&dataset);
+    cfg.d_loc = 16;
+    cfg.d_aoi = 16;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    let mut model_b = M2G4Rtp::new(cfg, 77);
+    Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::quick() }).fit(&mut model_b, &dataset);
+    (dataset, model_a, model_b)
+}
+
+/// Each `"city"` reaches exactly its model: the 2-shard server's
+/// replies are byte-identical to single-model twin servers running the
+/// same weights, and a request without a `"city"` key falls back to
+/// the first shard.
+#[test]
+fn city_key_routes_to_the_matching_shard_and_default_falls_back() {
+    let (dataset, model_a, model_b) = two_city_fleet(251);
+    let (saved_a, saved_b) = (model_a.to_saved(), model_b.to_saved());
+
+    let twin_a = start_server(model_a, dataset.clone(), ServeOptions::default());
+    let twin_b = start_server(model_b, dataset.clone(), ServeOptions::default());
+    let fleet = start_sharded_server(
+        vec![
+            ("a".to_string(), M2G4Rtp::from_saved(saved_a)),
+            ("b".to_string(), M2G4Rtp::from_saved(saved_b)),
+        ],
+        dataset.clone(),
+        ServeOptions::default(),
+    );
+
+    let mut ca = Client::connect(&twin_a.addr);
+    let mut cb = Client::connect(&twin_b.addr);
+    let mut cf = Client::connect(&fleet.addr);
+    let mut distinguishable = false;
+    for k in 0..8 {
+        let want_a = strip_latency(&ca.round_trip(&query_line(&dataset, k)));
+        let want_b = strip_latency(&cb.round_trip(&query_line(&dataset, k)));
+        distinguishable |= want_a != want_b;
+
+        let got_a = strip_latency(&cf.round_trip(&city_query_line(&dataset, k, "a")));
+        let got_b = strip_latency(&cf.round_trip(&city_query_line(&dataset, k, "b")));
+        assert_eq!(got_a, want_a, "query {k}: city a reached the wrong model");
+        assert_eq!(got_b, want_b, "query {k}: city b reached the wrong model");
+
+        let legacy = strip_latency(&cf.round_trip(&query_line(&dataset, k)));
+        assert_eq!(legacy, want_a, "query {k}: default shard must be the first one");
+    }
+    assert!(
+        distinguishable,
+        "test models answered identically on all 8 queries — routing unproven"
+    );
+}
+
+/// Routing errors are precise and attributed: an unknown city names
+/// the fleet roster, a non-string `"city"` is rejected as malformed,
+/// and post-routing failures land on the routed shard's error counter.
+#[test]
+fn unknown_and_malformed_cities_are_errors() {
+    let (dataset, model_a, model_b) = two_city_fleet(257);
+    let fleet = start_sharded_server(
+        vec![("a".to_string(), model_a), ("b".to_string(), model_b)],
+        dataset.clone(),
+        ServeOptions::default(),
+    );
+
+    let mut client = Client::connect(&fleet.addr);
+    let reply = client.round_trip(&city_query_line(&dataset, 0, "gotham"));
+    assert!(reply.contains("unknown city `gotham`"), "{reply}");
+    assert!(reply.contains("a, b"), "error must name the hosted shards: {reply}");
+
+    let line = query_line(&dataset, 0);
+    let reply = client.round_trip(&format!("{{\"city\":7,{}", &line[1..]));
+    assert!(reply.contains("`city` must be a string"), "{reply}");
+
+    // A routed request that then fails to parse is the shard's error.
+    let reply = client.round_trip("{\"city\":\"b\"}");
+    assert!(reply.contains("bad request"), "{reply}");
+    let stats: StatsReply =
+        serde_json::from_str(&client.round_trip("{\"cmd\":\"stats\"}")).expect("stats parses");
+    assert_eq!(stats.counters.get("serve.shard.b.errors"), Some(&1));
+    assert_eq!(stats.counters.get("serve.shard.a.errors"), Some(&0));
+    // Pre-routing errors (unknown city, malformed key) belong to no
+    // shard — only the server-wide counter.
+    assert_eq!(stats.counters.get("serve.errors"), Some(&3));
+}
+
+/// Per-shard counters surface everywhere an operator looks: the stats
+/// reply, the Prometheus exposition, and the shutdown summary.
+#[test]
+fn per_shard_counters_in_stats_prom_and_summary() {
+    let (dataset, model_a, model_b) = two_city_fleet(263);
+    let fleet = start_sharded_server(
+        vec![("a".to_string(), model_a), ("b".to_string(), model_b)],
+        dataset.clone(),
+        ServeOptions { allow_shutdown: true, ..Default::default() },
+    );
+
+    let mut client = Client::connect(&fleet.addr);
+    // 3 requests for a (one explicit, two via default fallback), 1 for b.
+    client.round_trip(&city_query_line(&dataset, 0, "a"));
+    client.round_trip(&query_line(&dataset, 1));
+    client.round_trip(&query_line(&dataset, 2));
+    client.round_trip(&city_query_line(&dataset, 3, "b"));
+
+    let stats: StatsReply =
+        serde_json::from_str(&client.round_trip("{\"cmd\":\"stats\"}")).expect("stats parses");
+    assert_eq!(stats.counters.get("serve.shard.a.requests"), Some(&3));
+    assert_eq!(stats.counters.get("serve.shard.b.requests"), Some(&1));
+    assert_eq!(stats.counters.get("serve.requests"), Some(&4), "shards sum to the global count");
+
+    let prom: MetricsReply =
+        serde_json::from_str(&client.round_trip("{\"cmd\":\"metrics\"}")).expect("metrics parses");
+    assert!(prom.metrics.contains("serve_shard_a_requests 3"), "{}", prom.metrics);
+    assert!(prom.metrics.contains("serve_shard_b_requests 1"), "{}", prom.metrics);
+    assert!(prom.metrics.contains("serve_shard_b_errors 0"), "{}", prom.metrics);
+
+    let ack = client.round_trip("{\"cmd\":\"shutdown\"}");
+    assert!(ack.contains("shutting down"), "{ack}");
+    let summary = fleet.shutdown_summary();
+    assert!(summary.contains("shards: a, b"), "{summary}");
+    assert!(summary.contains("shard a: 3 ok, 0 error(s)"), "{summary}");
+    assert!(summary.contains("shard b: 1 ok, 0 error(s)"), "{summary}");
+}
+
+/// Traced replies on a multi-shard server carry their shard label —
+/// and `strip_trace` still reduces them to the untraced bytes, so the
+/// byte-identity tooling spans the fleet. Single-shard servers keep
+/// the exact pre-shard traced shape (no `"shard"` key).
+#[test]
+fn traced_replies_carry_the_shard_label_only_on_fleets() {
+    let (dataset, model_a, model_b) = two_city_fleet(269);
+    let saved_a = model_a.to_saved();
+    let fleet = start_sharded_server(
+        vec![("a".to_string(), model_a), ("b".to_string(), model_b)],
+        dataset.clone(),
+        ServeOptions::default(),
+    );
+
+    let mut client = Client::connect(&fleet.addr);
+    let line = city_query_line(&dataset, 0, "b");
+    let traced = client.round_trip(&format!("{{\"trace\":true,{}", &line[1..]));
+    assert!(traced.contains("\"shard\":\"b\""), "{traced}");
+    let untraced = client.round_trip(&line);
+    assert_eq!(strip_latency(&strip_trace(&traced)), strip_latency(&untraced));
+
+    let single =
+        start_server(M2G4Rtp::from_saved(saved_a), dataset.clone(), ServeOptions::default());
+    let mut sc = Client::connect(&single.addr);
+    let line = query_line(&dataset, 0);
+    let traced = sc.round_trip(&format!("{{\"trace\":true,{}", &line[1..]));
+    assert!(traced.contains("\"trace_id\""), "{traced}");
+    assert!(
+        !traced.contains("\"shard\""),
+        "single-shard replies must keep the old shape: {traced}"
+    );
+}

@@ -1,0 +1,106 @@
+//! Idle-connection soak for the epoll front end, alone in its own test
+//! binary: its assertions read the process-wide thread count from
+//! `/proc/self/status`, which only holds still when no sibling test is
+//! spawning servers in the same process.
+//!
+//! Sized off the soft `RLIMIT_NOFILE` cap so constrained CI runners
+//! degrade gracefully instead of dying on EMFILE: each in-process
+//! connection costs two descriptors (client end + server end), and a
+//! margin is reserved for the harness itself.
+
+mod common;
+
+use common::{
+    max_open_files, process_threads, query_line, start_server, strip_latency, trained_model, Client,
+};
+use rtp_cli::serve::ServeOptions;
+use std::io::Read as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Idle sockets must cost zero threads and be reaped by the timer
+/// wheel, while an active connection on the same server keeps its
+/// latency and is never reaped as long as it keeps talking.
+#[test]
+fn idle_connections_cost_no_threads_and_are_reaped() {
+    // Two fds per in-process connection, 256 spare for the harness,
+    // capped at 1000 (the bench arm covers the full 1k+ story).
+    let n_idle = ((max_open_files().saturating_sub(256)) / 2).clamp(64, 1000);
+
+    let (dataset, model) = trained_model(241);
+    let server = start_server(
+        model,
+        dataset.clone(),
+        ServeOptions {
+            allow_shutdown: true,
+            workers: 2,
+            idle_timeout: Some(Duration::from_secs(1)),
+            ..Default::default()
+        },
+    );
+
+    let mut active = Client::connect(&server.addr);
+    let line = query_line(&dataset, 0);
+    let want = strip_latency(&active.round_trip(&line));
+
+    let threads_before = process_threads();
+    let mut idle = Vec::with_capacity(n_idle);
+    for i in 0..n_idle {
+        let s = TcpStream::connect(&server.addr)
+            .unwrap_or_else(|e| panic!("idle connect {i}/{n_idle}: {e}"));
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        idle.push(s);
+        // Opening a thousand sockets on a loaded 1-core box can take
+        // longer than the idle timeout — keep the hot connection's
+        // deadline re-armed while the herd assembles.
+        if i % 100 == 99 {
+            assert_eq!(strip_latency(&active.round_trip(&line)), want, "hot path during setup");
+        }
+    }
+    assert_eq!(
+        process_threads(),
+        threads_before,
+        "{n_idle} idle connections must not consume a single thread"
+    );
+
+    // The hot connection answers correctly while the wheel reaps the
+    // idle ones around it — and its own activity keeps re-arming its
+    // deadline, so it survives a multiple of the idle timeout.
+    let reap_deadline = Instant::now() + Duration::from_secs(60);
+    let mut probe = idle.pop().expect("at least one idle conn");
+    // A short probe timeout keeps the loop hot: the active connection
+    // must round-trip more often than the 1 s idle deadline, or the
+    // wheel would (correctly!) reap it too.
+    probe.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+    let mut eof = [0u8; 1];
+    loop {
+        assert_eq!(strip_latency(&active.round_trip(&line)), want, "hot path degraded");
+        match probe.read(&mut eof) {
+            Ok(0) => break, // reaped: clean EOF from the reactor
+            Ok(_) => panic!("idle socket received unsolicited bytes"),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("idle socket read failed: {e}"),
+        }
+        assert!(Instant::now() < reap_deadline, "idle connection never reaped");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Every other idle socket is reaped too (EOF, not RST: nothing was
+    // ever written on them).
+    for (i, mut s) in idle.into_iter().enumerate() {
+        let mut buf = [0u8; 1];
+        match s.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("idle socket {i} not cleanly reaped: {other:?}"),
+        }
+    }
+
+    // The survivor still works after the massacre, and the summary's
+    // timeout count owns up to every reaped socket.
+    assert_eq!(strip_latency(&active.round_trip(&line)), want);
+    let ack = active.round_trip("{\"cmd\":\"shutdown\"}");
+    assert!(ack.contains("shutting down"), "{ack}");
+    let summary = server.shutdown_summary();
+    assert!(summary.contains(&format!("{n_idle} timeout(s)")), "summary:\n{summary}");
+}

@@ -10,7 +10,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
-use rtp_cli::serve::{serve, ServeOptions};
+use rtp_cli::serve::{serve, serve_sharded, ServeOptions};
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
 
 /// A tiny trained model + its dataset (1 epoch; serving latency and
@@ -82,6 +82,57 @@ pub fn start_server(model: M2G4Rtp, dataset: Dataset, opts: ServeOptions) -> Ser
     });
     let addr = addr_rx.recv_timeout(Duration::from_secs(60)).expect("server address");
     ServerHandle { addr, out_rx, join }
+}
+
+/// Spawns a multi-shard `serve_sharded` fleet on an ephemeral port and
+/// waits for its address. Shard order is routing order: the first
+/// shard is the default for requests without a `"city"` key.
+pub fn start_sharded_server(
+    models: Vec<(String, M2G4Rtp)>,
+    dataset: Dataset,
+    opts: ServeOptions,
+) -> ServerHandle {
+    let (addr_tx, addr_rx) = channel::<String>();
+    let (out_tx, out_rx) = channel::<String>();
+    let join = std::thread::spawn(move || {
+        let mut sink = AddrSink(addr_tx, out_tx, Vec::new());
+        serve_sharded(models, dataset, opts, &mut sink).expect("server runs");
+    });
+    let addr = addr_rx.recv_timeout(Duration::from_secs(60)).expect("server address");
+    ServerHandle { addr, out_rx, join }
+}
+
+/// The k-th test query with a `"city"` routing key spliced in front.
+pub fn city_query_line(dataset: &Dataset, k: usize, city: &str) -> String {
+    let line = query_line(dataset, k);
+    format!("{{\"city\":\"{city}\",{}", &line[1..])
+}
+
+/// Current thread count of this process, from `/proc/self/status`
+/// (Linux-only, like the epoll reactor itself).
+pub fn process_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line present")
+        .trim()
+        .parse()
+        .expect("thread count parses")
+}
+
+/// The soft `RLIMIT_NOFILE` cap, from `/proc/self/limits` — the test
+/// process and the in-process server share it, so soak tests size
+/// their connection count off this instead of hard-coding 1k+.
+pub fn max_open_files() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").expect("read /proc/self/limits");
+    let line = limits.lines().find(|l| l.starts_with("Max open files")).expect("limit line");
+    let soft = line.split_whitespace().nth(3).expect("soft limit field");
+    if soft == "unlimited" {
+        1 << 20
+    } else {
+        soft.parse().expect("soft limit parses")
+    }
 }
 
 /// A blocking NDJSON client connection.

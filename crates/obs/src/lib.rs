@@ -50,7 +50,7 @@ pub mod metrics;
 pub mod prom;
 pub mod trace;
 
-pub use context::{StageBreakdown, TraceCtx};
+pub use context::{StageBreakdown, TraceCtx, SEQ_BITS};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use trace::{SpanEvent, SpanGuard};
 
