@@ -19,6 +19,11 @@
 //!   JSONs (run after an intentional perf change, commit the result).
 //! * `render`   — render `history.jsonl` into the markdown trend page
 //!   `PERF_HISTORY.md`.
+//! * `swap`     — gate on the serve bench's hot-swap arm: mid-bench
+//!   `{"cmd":"reload"}` hot-swaps must not cost more than the
+//!   tolerance (default 15%, CI passes 5) of the no-reload twin's
+//!   throughput, compared within one run so scheduler noise between
+//!   runs cannot fail the gate.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -112,7 +117,11 @@ fn extract_metrics(bench: &str, v: &Value) -> BTreeMap<String, f64> {
                 };
                 let numerics =
                     row.get("numerics").and_then(Value::as_str).unwrap_or("exact").to_string();
-                let tag = format!("w{w}.b{b}.{numerics}");
+                // The swap arm measures the same (workers, batch,
+                // numerics) point as a plain arm — suffix its tag so
+                // the two don't collide in the history/baseline.
+                let reload = if get_u64(row, "reloads").unwrap_or(0) > 0 { ".reload" } else { "" };
+                let tag = format!("w{w}.b{b}.{numerics}{reload}");
                 for key in ["requests_per_sec", "p50_us", "p99_us"] {
                     if let Some(x) = get_num(row, key) {
                         m.insert(format!("{tag}.{key}"), x);
@@ -252,6 +261,40 @@ fn cmd_check(dir: &Path, only: Option<&str>, tolerance_pct: f64) -> Result<(), S
     }
 }
 
+/// The hot-swap gate: reads the swap arm out of the current
+/// `serve_throughput.json` and fails if the mid-bench reloads cost
+/// more than `tolerance_pct` of the no-reload twin's throughput. The
+/// twin is measured back-to-back in the same run (the ratio is the
+/// row's `speedup_vs_unbatched`), so the gate is immune to the
+/// cross-run scheduler noise that keeps the serve bench out of the
+/// baseline gate.
+fn cmd_swap(dir: &Path, tolerance_pct: f64) -> Result<(), String> {
+    let v = load_json(&dir.join("serve_throughput.json"))
+        .ok_or("missing results/serve_throughput.json — run the serve_throughput bench first")?;
+    let row = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .unwrap_or_default()
+        .iter()
+        .find(|r| get_u64(r, "reloads").unwrap_or(0) > 0)
+        .ok_or("serve_throughput.json has no hot-swap arm — rerun the bench")?;
+    let reloads = get_u64(row, "reloads").unwrap_or(0);
+    let ratio =
+        get_num(row, "speedup_vs_unbatched").ok_or("hot-swap row lacks its intra-run ratio")?;
+    let cost_pct = (1.0 - ratio) * 100.0;
+    if cost_pct > tolerance_pct {
+        return Err(format!(
+            "{reloads} mid-bench hot-swaps cost {cost_pct:.1}% throughput \
+             (tolerance {tolerance_pct}%)"
+        ));
+    }
+    println!(
+        "swap gate OK: {reloads} mid-bench hot-swaps cost {cost_pct:.1}% throughput \
+         (tolerance {tolerance_pct}%)"
+    );
+    Ok(())
+}
+
 /// Headline metrics per bench for the trend page (full metric sets
 /// live in the JSONL).
 fn headline(bench: &str) -> Vec<&'static str> {
@@ -346,13 +389,14 @@ fn main() {
     let mut cmd: Option<&str> = None;
     let mut it = args.iter();
     let usage =
-        "usage: perf_gate <append|check|baseline|render> [--only <bench>] [--tolerance <pct>]";
+        "usage: perf_gate <append|check|baseline|render|swap> [--only <bench>] [--tolerance <pct>]";
     while let Some(a) = it.next() {
         match a.as_str() {
             "append" => cmd = Some("append"),
             "check" => cmd = Some("check"),
             "baseline" => cmd = Some("baseline"),
             "render" => cmd = Some("render"),
+            "swap" => cmd = Some("swap"),
             "--only" => only = it.next().cloned(),
             "--tolerance" => {
                 tolerance = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -371,6 +415,7 @@ fn main() {
         Some("check") => cmd_check(&dir, only.as_deref(), tolerance),
         Some("baseline") => cmd_baseline(&dir),
         Some("render") => cmd_render(&dir),
+        Some("swap") => cmd_swap(&dir, tolerance),
         _ => Err(usage.to_string()),
     };
     if let Err(e) = result {

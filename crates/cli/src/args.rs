@@ -100,6 +100,31 @@ pub enum Command {
         /// Flight-recorder JSONL dump path on caught panics (empty = off).
         flight_dump: String,
     },
+    /// Run an online-training loop: keep fitting a model on fresh
+    /// simulated courier-days and hot-swap each round's weights into a
+    /// running `rtp serve` instance over its `reload` verb.
+    Online {
+        /// Warm-start model JSON path.
+        model: String,
+        /// Dataset JSON path (base config for fresh courier-days).
+        dataset: String,
+        /// `host:port` of the running server to push reloads to.
+        addr: String,
+        /// Target shard name (empty = server default shard).
+        shard: String,
+        /// Training rounds to run.
+        rounds: usize,
+        /// Epochs per round.
+        epochs_per_round: usize,
+        /// Base seed for the per-round fresh datasets.
+        seed: u64,
+        /// Worker threads for the mini-batch loop (0 = all cores).
+        threads: usize,
+        /// Published model path — rewritten atomically every round.
+        out: String,
+        /// Directory for durable per-round checkpoints (empty = off).
+        checkpoint_dir: String,
+    },
     /// Print usage.
     Help,
 }
@@ -131,7 +156,14 @@ USAGE:
                [--allow-shutdown] [--batch-max N] [--batch-window-us U]
                [--numerics exact|fast|quantized] [--metrics-file PATH]
                [--metrics-interval-secs S] [--flight-dump PATH]
+  rtp online   --model <model.json> --dataset <dataset.json> --addr <host:port> --out <model.json>
+               [--shard NAME] [--rounds N] [--epochs-per-round N] [--seed N] [--threads N]
+               [--checkpoint-dir DIR]
   rtp help
+
+Online training: `rtp online` trains on a fresh simulated courier-day
+each round, atomically rewrites --out, and pushes it into the server
+at --addr with `{\"cmd\":\"reload\"}` — a zero-downtime hot-swap.
 
 Sharding: `rtp serve` accepts --model repeatedly as NAME=PATH pairs
 (e.g. --model city_a=a.json --model city_b=b.json) to host one model
@@ -216,6 +248,10 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
     let mut metrics_file = String::new();
     let mut metrics_interval_secs = 0u64;
     let mut flight_dump = String::new();
+    let mut addr = String::new();
+    let mut shard = String::new();
+    let mut rounds = 3usize;
+    let mut epochs_per_round = 1usize;
 
     while let Some(flag) = it.next() {
         let v = |it: &mut dyn Iterator<Item = &str>| take_value(flag, it);
@@ -276,6 +312,15 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                     .map_err(|_| ParseError("bad --metrics-interval-secs".into()))?
             }
             "--flight-dump" => flight_dump = v(&mut it)?,
+            "--addr" => addr = v(&mut it)?,
+            "--shard" => shard = v(&mut it)?,
+            "--rounds" => {
+                rounds = v(&mut it)?.parse().map_err(|_| ParseError("bad --rounds".into()))?
+            }
+            "--epochs-per-round" => {
+                epochs_per_round =
+                    v(&mut it)?.parse().map_err(|_| ParseError("bad --epochs-per-round".into()))?
+            }
             "--numerics" => {
                 numerics = v(&mut it)?;
                 if !["exact", "fast", "quantized"].contains(&numerics.as_str()) {
@@ -366,6 +411,30 @@ pub fn parse(args: &[&str]) -> Result<Cli, ParseError> {
                 metrics_file,
                 metrics_interval_secs,
                 flight_dump,
+            }
+        }
+        "online" => {
+            require("model", &model)?;
+            require("dataset", &dataset)?;
+            require("addr", &addr)?;
+            require("out", &out)?;
+            if rounds == 0 {
+                return Err(ParseError("--rounds must be >= 1".into()));
+            }
+            if epochs_per_round == 0 {
+                return Err(ParseError("--epochs-per-round must be >= 1".into()));
+            }
+            Command::Online {
+                model,
+                dataset,
+                addr,
+                shard,
+                rounds,
+                epochs_per_round,
+                seed,
+                threads,
+                out,
+                checkpoint_dir,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -716,6 +785,81 @@ mod tests {
         assert!(parse(&["predict", "--model", "m", "--dataset", "d", "--beam", "0"]).is_err());
         assert!(parse(&["generate", "--seed"]).is_err(), "dangling flag value");
         assert!(parse(&["generate", "--wat", "1", "--out", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_online_with_defaults() {
+        let cli = parse(&[
+            "online",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--addr",
+            "127.0.0.1:7878",
+            "--out",
+            "pub.json",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Online { model, dataset, addr, shard, rounds, epochs_per_round, .. } => {
+                assert_eq!(model, "m.json");
+                assert_eq!(dataset, "d.json");
+                assert_eq!(addr, "127.0.0.1:7878");
+                assert!(shard.is_empty(), "default shard is the server's default");
+                assert_eq!(rounds, 3);
+                assert_eq!(epochs_per_round, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_online_flags() {
+        let cli = parse(&[
+            "online",
+            "--model",
+            "m.json",
+            "--dataset",
+            "d.json",
+            "--addr",
+            "h:1",
+            "--out",
+            "p.json",
+            "--shard",
+            "city_a",
+            "--rounds",
+            "5",
+            "--epochs-per-round",
+            "2",
+            "--checkpoint-dir",
+            "ck",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Online { shard, rounds, epochs_per_round, checkpoint_dir, .. } => {
+                assert_eq!(shard, "city_a");
+                assert_eq!(rounds, 5);
+                assert_eq!(epochs_per_round, 2);
+                assert_eq!(checkpoint_dir, "ck");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn online_rejects_bad_input() {
+        // Every required flag missing in turn.
+        assert!(parse(&["online", "--dataset", "d", "--addr", "a", "--out", "p"]).is_err());
+        assert!(parse(&["online", "--model", "m", "--addr", "a", "--out", "p"]).is_err());
+        assert!(parse(&["online", "--model", "m", "--dataset", "d", "--out", "p"]).is_err());
+        assert!(parse(&["online", "--model", "m", "--dataset", "d", "--addr", "a"]).is_err());
+        let base = ["online", "--model", "m", "--dataset", "d", "--addr", "a", "--out", "p"];
+        let with = |extra: &[&'static str]| [&base[..], extra].concat();
+        assert!(parse(&with(&["--rounds", "0"])).is_err(), "zero rounds is a no-op loop");
+        assert!(parse(&with(&["--rounds", "x"])).is_err());
+        assert!(parse(&with(&["--epochs-per-round", "0"])).is_err());
+        assert!(parse(&with(&["--epochs-per-round", "x"])).is_err());
     }
 
     #[test]

@@ -192,7 +192,10 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
             let dataset = load_dataset(&dataset)?;
             let mut shards = Vec::with_capacity(models.len());
             for (name, path) in models {
-                shards.push((name, load_model(&path)?));
+                let model = load_model(&path)?;
+                // Keep the source path on the shard: SIGHUP re-reads it
+                // through the hot-swap machinery.
+                shards.push(serve::ShardSpec::with_path(name, model, path));
             }
             let frontend = match frontend.as_str() {
                 "threaded" => serve::FrontEnd::Threaded,
@@ -215,6 +218,46 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> std::io::Result<i3
                 flight_dump: (!flight_dump.is_empty()).then_some(flight_dump),
             };
             serve::serve_sharded(shards, dataset, opts, out)
+        }
+        Command::Online {
+            model,
+            dataset,
+            addr,
+            shard,
+            rounds,
+            epochs_per_round,
+            seed,
+            threads,
+            out: path,
+            checkpoint_dir,
+        } => {
+            let base = load_dataset(&dataset)?;
+            let model = load_model(&model)?;
+            rtp_obs::flight::set_enabled(true);
+            let opts = crate::online::OnlineOptions {
+                addr,
+                shard: (!shard.is_empty()).then_some(shard),
+                rounds,
+                epochs_per_round,
+                seed,
+                threads,
+                out: path,
+                checkpoint_dir: (!checkpoint_dir.is_empty()).then_some(checkpoint_dir),
+            };
+            writeln!(
+                out,
+                "online: {} round(s) x {} epoch(s) -> {} via {}",
+                opts.rounds, opts.epochs_per_round, opts.out, opts.addr
+            )?;
+            let reports = crate::online::run_online(model, &base, &opts, out)?;
+            let last = reports.last().expect("parser enforces rounds >= 1");
+            writeln!(
+                out,
+                "online loop done: {} round(s), serving model_version {}",
+                reports.len(),
+                last.model_version
+            )?;
+            Ok(0)
         }
     }
 }

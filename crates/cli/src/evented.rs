@@ -157,6 +157,48 @@ impl Drop for Epoll {
 }
 
 // ---------------------------------------------------------------------------
+// SIGHUP (model-reload signal), same no-libc vendoring policy as epoll
+// ---------------------------------------------------------------------------
+
+const SIGHUP: i32 = 1;
+
+/// Process-wide count of SIGHUPs received since the handler was
+/// installed. The serve layer polls this and reloads `--model` paths
+/// when it advances — the handler itself never touches server state.
+static SIGHUP_COUNT: AtomicU64 = AtomicU64::new(0);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Async-signal-safe handler: a single lock-free counter bump. All
+/// actual reload work happens on a normal thread that watches
+/// [`sighup_count`].
+extern "C" fn sighup_handler(_signum: i32) {
+    SIGHUP_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs the SIGHUP handler once per process (idempotent). Without
+/// this, SIGHUP keeps its default disposition and terminates the
+/// process — so it is only installed when a server actually has model
+/// paths to re-read.
+pub fn install_sighup_handler() {
+    static INSTALLED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        // SAFETY: `sighup_handler` is async-signal-safe (one relaxed
+        // atomic add, no allocation, no locks), and `signal` replacing
+        // the default disposition is the documented use of the call.
+        unsafe { signal(SIGHUP, sighup_handler as *const () as usize) };
+    });
+}
+
+/// SIGHUPs observed so far (0 until [`install_sighup_handler`] runs
+/// and a signal arrives).
+pub fn sighup_count() -> u64 {
+    SIGHUP_COUNT.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
 // Timer wheel
 // ---------------------------------------------------------------------------
 
@@ -214,9 +256,14 @@ impl TimerWheel {
         // Earliest possible due time is the end of the cursor tick;
         // scanning for the true minimum would be O(len) per loop
         // iteration for no gain — a spurious wakeup just drains zero
-        // entries and re-blocks.
-        let due = self.origin + self.tick * (self.cursor as u32 + 1);
-        Some(due.saturating_duration_since(now))
+        // entries and re-blocks. The tick index is a u64 (past
+        // `u32::MAX` after ~50 days at the 1 ms floor), so the offset
+        // is computed in nanoseconds rather than `Duration * u32`,
+        // which would wrap the index and send wakeups into the past.
+        let due_ns = (self.cursor as u128 + 1) * self.tick.as_nanos();
+        let elapsed_ns = now.saturating_duration_since(self.origin).as_nanos();
+        let remaining = due_ns.saturating_sub(elapsed_ns).min(u64::MAX as u128) as u64;
+        Some(Duration::from_nanos(remaining))
     }
 
     /// Advances through every tick up to `now` and returns the tokens
@@ -393,6 +440,29 @@ impl EvConn {
                 q.claimed = false;
                 None
             }
+        }
+    }
+
+    /// End-of-quantum check for a claiming worker: if queued lines
+    /// remain, the claim is *kept* and `true` is returned — the caller
+    /// must hand the connection (claim and all) back to the worker
+    /// pool's queue. Otherwise the claim is released and `false` comes
+    /// back, exactly like a drained [`EvConn::pop_line`]. One critical
+    /// section, so a line pushed concurrently either stays for the
+    /// re-dispatched drain or re-dispatches the connection itself —
+    /// never neither.
+    pub fn yield_claim(&self) -> bool {
+        let mut q = self.lock_q();
+        if self.is_dead() {
+            q.lines.clear();
+            q.claimed = false;
+            return false;
+        }
+        if q.lines.is_empty() {
+            q.claimed = false;
+            false
+        } else {
+            true
         }
     }
 
@@ -797,6 +867,32 @@ mod tests {
     }
 
     #[test]
+    fn timer_wheel_survives_cursor_past_u32_max() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(1);
+        let mut wheel = TimerWheel::new(tick, t0);
+        // ~58 days of simulated uptime at the 1 ms tick floor: the
+        // tick index (5·10⁹) no longer fits in u32, which is exactly
+        // where the old `tick * (cursor as u32 + 1)` wakeup math
+        // wrapped and computed a due time deep in the past.
+        let uptime = Duration::from_secs(5_000_000);
+        assert!(uptime.as_millis() > u128::from(u32::MAX), "test must cross the u32 tick edge");
+        // Fast-forward the idle wheel's cursor across the edge.
+        assert!(wheel.expired(t0 + uptime).is_empty());
+        wheel.schedule(42, t0 + uptime + Duration::from_millis(30));
+        let wake = wheel.next_wakeup(t0 + uptime).expect("one entry armed");
+        assert!(
+            wake > Duration::ZERO,
+            "wakeup must stay in the future past 2^32 ticks (a zero here busy-spins the reactor)"
+        );
+        assert!(wake <= tick, "earliest due time is the end of the current tick, got {wake:?}");
+        // And the entry still fires on its own tick, not a wrapped one.
+        assert_eq!(wheel.expired(t0 + uptime + Duration::from_millis(15)), Vec::<u64>::new());
+        assert_eq!(wheel.expired(t0 + uptime + Duration::from_millis(40)), vec![42]);
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
     fn conn_claim_protocol_dispatches_once_and_redispatches_after_drain() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -815,6 +911,28 @@ mod tests {
 
         conn.close();
         assert!(!conn.push_lines(vec!["d".into()]), "dead connections accept no work");
+        assert_eq!(conn.pop_line(), None);
+    }
+
+    #[test]
+    fn yield_claim_keeps_the_claim_while_lines_remain_and_releases_when_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let conn = EvConn::new(stream, TraceCtx::at_accept(), Instant::now());
+
+        assert!(conn.push_lines(vec!["a".into(), "b".into()]), "first lines claim");
+        assert_eq!(conn.pop_line(), Some("a".into()));
+        assert!(conn.yield_claim(), "queued line: claim travels with the re-dispatch");
+        assert!(!conn.push_lines(vec!["c".into()]), "still claimed: no double dispatch");
+        assert_eq!(conn.pop_line(), Some("b".into()), "re-dispatched drain resumes in order");
+        assert_eq!(conn.pop_line(), Some("c".into()));
+        assert!(!conn.yield_claim(), "empty queue: claim released like a drained pop");
+        assert!(conn.push_lines(vec!["d".into()]), "released claim: next line re-dispatches");
+
+        conn.close();
+        assert!(!conn.yield_claim(), "dead connection: claim released, queue cleared");
         assert_eq!(conn.pop_line(), None);
     }
 }

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod evented;
+pub mod online;
 pub mod serve;
 
 pub use args::{Cli, Command, ParseError};

@@ -1,0 +1,155 @@
+//! The `rtp online` loop: continuous training feeding a live server.
+//!
+//! Each round simulates a fresh day of courier behaviour (same city,
+//! new sample stream — the master seed is bumped per round while the
+//! city seed is held fixed, so AOI and courier ids keep meaning the
+//! same thing to the serving-side dataset context), fits the model on
+//! it, atomically republishes the SavedModel JSON at `--out`, and
+//! pushes it into the running `rtp serve` instance over the in-band
+//! `{"cmd":"reload"}` verb. The server performs the blue-green swap
+//! described in [`crate::serve`]; this side only fails fast.
+//!
+//! The loop is deliberately synchronous: a round's reload must be
+//! acknowledged (reply carries the new `model_version`) before the
+//! next round trains. A rejected reload — config drift, truncated
+//! file, unknown shard — aborts the loop with the server's structured
+//! error, mirroring the loud-rejection policy of `--resume`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use m2g4rtp::{CheckpointOptions, M2G4Rtp, TrainConfig, Trainer};
+use rtp_obs::flight;
+use rtp_obs::fsio::write_atomic_str;
+use rtp_sim::{Dataset, DatasetBuilder};
+
+/// Options of one [`run_online`] loop.
+#[derive(Debug, Clone)]
+pub struct OnlineOptions {
+    /// `host:port` of the running server.
+    pub addr: String,
+    /// Target shard (`None` = the server's default shard).
+    pub shard: Option<String>,
+    /// Rounds to run.
+    pub rounds: usize,
+    /// Epochs per round.
+    pub epochs_per_round: usize,
+    /// Base seed; round `r` trains on a dataset seeded
+    /// `seed.wrapping_add(1 + r)`.
+    pub seed: u64,
+    /// Trainer threads (0 = all cores).
+    pub threads: usize,
+    /// Published model path, atomically rewritten every round.
+    pub out: String,
+    /// Per-round checkpoint directories (`dir/round_N`), off if `None`.
+    pub checkpoint_dir: Option<String>,
+}
+
+/// One acknowledged round of the loop.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index, 0-based.
+    pub round: usize,
+    /// Best validation KRC of the round's fit.
+    pub val_krc: f64,
+    /// `model_version` the server acknowledged the swap with.
+    pub model_version: u64,
+    /// Wall-clock of the round (train + publish + reload), seconds.
+    pub seconds: f64,
+}
+
+/// Runs the online loop; returns one report per acknowledged round.
+///
+/// # Errors
+/// Fails on checkpoint I/O, on publishing `--out`, and on any reload
+/// the server does not acknowledge (connection failure, `{"error"}`
+/// reply, or a reply without a `model_version`). The published file is
+/// only ever a fully-written SavedModel, so a crashed loop never
+/// leaves a half-written model for a later SIGHUP to trip on.
+pub fn run_online(
+    mut model: M2G4Rtp,
+    base: &Dataset,
+    opts: &OnlineOptions,
+    out: &mut dyn Write,
+) -> io::Result<Vec<RoundReport>> {
+    let mut reports = Vec::with_capacity(opts.rounds);
+    for round in 0..opts.rounds {
+        let started = Instant::now();
+        let mut config = base.config.clone();
+        config.seed = opts.seed.wrapping_add(1 + round as u64);
+        let day = DatasetBuilder::new(config).build();
+
+        let ckpt = opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| CheckpointOptions::new(PathBuf::from(dir).join(format!("round_{round}"))));
+        let train_cfg = TrainConfig {
+            epochs: opts.epochs_per_round,
+            threads: opts.threads,
+            ..TrainConfig::quick()
+        };
+        let report = Trainer::new(train_cfg)
+            .fit_with_checkpoints(&mut model, &day, ckpt.as_ref())
+            .map_err(io::Error::other)?;
+
+        write_atomic_str(
+            Path::new(&opts.out),
+            &serde_json::to_string(&model.to_saved()).expect("serialise model"),
+        )?;
+        let model_version = push_reload(&opts.addr, &opts.out, opts.shard.as_deref())?;
+        flight::record(flight::Kind::Reload, "online.push", 0, || {
+            format!(
+                "round {round} pushed {} to {} -> model_version {model_version}",
+                opts.out, opts.addr
+            )
+        });
+
+        let seconds = started.elapsed().as_secs_f64();
+        writeln!(
+            out,
+            "round {}/{}: {} train samples, val KRC {:.3} — served as model_version {} ({:.1}s)",
+            round + 1,
+            opts.rounds,
+            day.train.len(),
+            report.best_val_krc,
+            model_version,
+            seconds
+        )?;
+        reports.push(RoundReport { round, val_krc: report.best_val_krc, model_version, seconds });
+    }
+    Ok(reports)
+}
+
+/// Sends one `{"cmd":"reload"}` line to the server and returns the
+/// acknowledged `model_version`. Any `{"error"}` reply becomes a hard
+/// failure carrying the server's message.
+pub fn push_reload(addr: &str, model_path: &str, shard: Option<&str>) -> io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let path_json = serde_json::to_string(model_path).expect("serialise path");
+    let line = match shard {
+        Some(name) => {
+            let name_json = serde_json::to_string(name).expect("serialise shard");
+            format!("{{\"cmd\":\"reload\",\"model\":{path_json},\"shard\":{name_json}}}\n")
+        }
+        None => format!("{{\"cmd\":\"reload\",\"model\":{path_json}}}\n"),
+    };
+    writer.write_all(line.as_bytes())?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    let v: serde::Value = serde_json::from_str(reply.trim())
+        .map_err(|e| io::Error::other(format!("unparseable reload reply {reply:?}: {e}")))?;
+    if let Some(serde::Value::Str(msg)) = v.get("error") {
+        return Err(io::Error::other(format!("server rejected reload: {msg}")));
+    }
+    match v.get("model_version") {
+        Some(serde::Value::Num(n)) => n
+            .as_u64()
+            .ok_or_else(|| io::Error::other(format!("non-integer model_version in {reply:?}"))),
+        _ => Err(io::Error::other(format!("reload reply without model_version: {reply:?}"))),
+    }
+}

@@ -45,6 +45,43 @@
 //! registry — and therefore in `{"cmd":"stats"}`, the Prometheus
 //! exposition and `--metrics-file` — next to the server-wide counters.
 //!
+//! # Model hot-swap (`{"cmd":"reload"}`, SIGHUP)
+//!
+//! Each shard's model is behind a versioned `Arc`: a
+//! `{"cmd":"reload","model":PATH[,"shard":NAME]}` control line loads
+//! and validates a fresh SavedModel **off the hot path** (on the
+//! worker that received the command), then performs a blue-green swap —
+//! the shard's current `(version, Arc<M2G4Rtp>)` pair is replaced under
+//! a mutex while every other worker keeps serving, and in-flight
+//! requests finish on the weights they started with (their jobs carry
+//! the old generation's `Arc`). Every ok prediction is tagged with the
+//! `model_version` that produced it, so a client can watch the served
+//! model advance. A server started with `--model` *paths* also installs
+//! a SIGHUP handler: the signal re-reads every shard's original path
+//! through the same swap (the classic config-reload idiom).
+//!
+//! Swap correctness around cached state:
+//!
+//! * encoder-cache entries are keyed by model version as well as
+//!   courier + fingerprint; the swap drains the shard's cache (counted
+//!   under `serve.cache.invalidations`), and a concurrent miss that
+//!   raced the swap refuses to install its now-stale activations — no
+//!   post-swap reply is ever computed from pre-swap encoder state;
+//! * the inference engine batches only jobs of one model generation
+//!   (a job from a newer generation closes the current batch and
+//!   starts the next), and rebuilds its tape per generation;
+//! * worker lanes rebuild their per-shard [`RtpService`] lazily on the
+//!   first request that observes a newer version.
+//!
+//! A reload whose SavedModel mismatches the running shard (different
+//! architecture dims, vocab sizes, missing pipeline, different weight
+//! layout) is **rejected** with a structured error naming the first
+//! mismatching field — the same loud-rejection policy as `--resume`
+//! ([`m2g4rtp::SavedModel::validate_swap`]) — and counted under
+//! `serve.reload.failures`; the running model is untouched. Successful
+//! swaps count `serve.reload.count`, time themselves into
+//! `serve.reload.duration_us`, and record a `reload` flight event.
+//!
 //! # Micro-batching & encoder cache (`--batch-max`, `--batch-window-us`)
 //!
 //! With `--batch-max N` (N > 1), workers stop running the encoders
@@ -113,6 +150,9 @@
 //!   excluded by construction);
 //! * `serve.shard.<name>.requests` / `serve.shard.<name>.errors` —
 //!   per-shard reply counters, registered for every hosted shard;
+//! * `serve.reload.count` / `.failures` and the
+//!   `serve.reload.duration_us` histogram — hot-swap outcomes and
+//!   load-validate-swap latency;
 //! * `serve.trace_id_wraps` — how many times a long-lived connection
 //!   exhausted a 2^20-request trace-id segment and rolled over into a
 //!   fresh one (ids stay globally unique across the rollover);
@@ -173,17 +213,17 @@
 //! `write_atomic`, turning the catch_unwind sites into post-mortems;
 //! `{"cmd":"dump"}` returns the same events in-band.
 
-use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, SendError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction};
+use m2g4rtp::{EncodedQuery, M2G4Rtp, Prediction, SavedModel};
 
 use crate::evented::{self, EvConn, EventSink};
 use rtp_eval::service::{apply_prediction, RtpService};
@@ -214,6 +254,9 @@ pub struct ServeResponse {
     /// Identical to the sample recorded in the `serve.latency_us`
     /// histogram for this request.
     pub latency_ms: f64,
+    /// Version of the shard model that produced this prediction
+    /// (starts at 1; each successful hot-swap advances it by one).
+    pub model_version: u64,
 }
 
 /// The serialized part of a response that the latency timer must cover;
@@ -234,7 +277,7 @@ pub struct ServeError {
 }
 
 /// Known in-band control commands, for the unknown-command reply.
-const KNOWN_CMDS: &str = "stats, metrics, dump, shutdown, panic";
+const KNOWN_CMDS: &str = "stats, metrics, dump, reload, shutdown, panic";
 
 /// The reply to `{"cmd":"metrics"}`: the merged registry snapshot
 /// rendered as Prometheus text exposition, in a one-line JSON envelope
@@ -418,6 +461,14 @@ struct ServeMetrics {
     /// [`StageBreakdown::NAMES`] order: queue_wait, batch_form,
     /// forward, demux, write. Recorded for every ok prediction.
     stages: [Arc<Histogram>; 5],
+    /// Successful hot-swaps (`serve.reload.count`).
+    reload_count: Arc<Counter>,
+    /// Rejected or failed hot-swaps (`serve.reload.failures`); the
+    /// running model is untouched on every one of these.
+    reload_failures: Arc<Counter>,
+    /// Load + validate + swap duration per successful reload
+    /// (`serve.reload.duration_us`).
+    reload_duration_us: Arc<Histogram>,
 }
 
 impl ServeMetrics {
@@ -449,6 +500,9 @@ impl ServeMetrics {
             req_quantized: registry.counter("serve.requests.quantized"),
             stages: StageBreakdown::NAMES
                 .map(|name| registry.histogram(&format!("serve.stage.{name}_us"))),
+            reload_count: registry.counter("serve.reload.count"),
+            reload_failures: registry.counter("serve.reload.failures"),
+            reload_duration_us: registry.histogram("serve.reload.duration_us"),
         }
     }
 
@@ -470,6 +524,10 @@ struct CacheEntry {
     /// an order served, the courier moving, the clock advancing —
     /// changes the line, misses the cache, and replaces the entry.
     fingerprint: String,
+    /// Model generation whose encoders produced `enc`. A lookup under
+    /// a newer shard version must miss even on a byte-identical line:
+    /// activations from swapped-out weights are never replayed.
+    version: u64,
     /// The scaled multi-level graph (Feature Extraction Layer output).
     graph: MultiLevelGraph,
     /// The encoder activations to replay through the decoders.
@@ -482,6 +540,14 @@ struct CacheEntry {
 /// waiting worker answers an internal-error line for just that request.
 struct InferJob {
     graph: MultiLevelGraph,
+    /// The model generation this job must run on. The engine batches
+    /// only same-version jobs together and runs each batch on the
+    /// job-carried model, so an in-flight request finishes on the
+    /// weights it started with even if a swap lands mid-batch.
+    version: u64,
+    /// The generation's model (blue-green: the worker captured this
+    /// `Arc` before the swap could drop it).
+    model: Arc<M2G4Rtp>,
     /// Trace id of the request this job belongs to (flight-recorder
     /// attribution on an engine panic).
     trace_id: u64,
@@ -514,11 +580,24 @@ struct EngineReply {
 /// pre-shard versions.
 struct ShardState {
     name: String,
-    model: Arc<M2G4Rtp>,
+    /// The serving generation: `(version, model)` swapped as one unit
+    /// under the mutex (blue-green — readers clone the `Arc` out and
+    /// the old generation lives until its last in-flight request
+    /// drops it).
+    current: Mutex<(u64, Arc<M2G4Rtp>)>,
+    /// Lock-free mirror of the current version for the staleness
+    /// checks on the hot path (cache lookups, lane refresh). Stored
+    /// *inside* the `current` critical section, so it never runs ahead
+    /// of the model it describes.
+    version: AtomicU64,
+    /// The SavedModel path this shard was loaded from, when the caller
+    /// had one (`rtp serve --model`); SIGHUP re-reads it through the
+    /// same swap as the in-band `reload` verb.
+    path: Option<String>,
     /// Per-courier encoder cache; `Some` iff batching is enabled.
     /// Concurrent misses for the same courier may both insert — that is
-    /// a benign lost-update (same fingerprint ⇒ same bits), not an
-    /// invalidation.
+    /// a benign lost-update (same fingerprint + version ⇒ same bits),
+    /// not an invalidation.
     cache: Option<Mutex<HashMap<usize, Arc<CacheEntry>>>>,
     /// `serve.shard.<name>.requests` — ok predictions served by this
     /// shard.
@@ -529,10 +608,54 @@ struct ShardState {
 }
 
 impl ShardState {
-    fn new(name: String, model: Arc<M2G4Rtp>, registry: &Registry, batching: bool) -> Self {
+    fn new(spec: ShardSpec, registry: &Registry, batching: bool) -> Self {
+        let ShardSpec { name, model, path } = spec;
         let requests = registry.counter(&format!("serve.shard.{name}.requests"));
         let errors = registry.counter(&format!("serve.shard.{name}.errors"));
-        Self { name, model, cache: batching.then(|| Mutex::new(HashMap::new())), requests, errors }
+        Self {
+            name,
+            current: Mutex::new((1, Arc::new(model))),
+            version: AtomicU64::new(1),
+            path,
+            cache: batching.then(|| Mutex::new(HashMap::new())),
+            requests,
+            errors,
+        }
+    }
+
+    /// The serving version, without touching the generation mutex.
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Clones out the current `(version, model)` pair as one unit.
+    fn generation(&self) -> (u64, Arc<M2G4Rtp>) {
+        let cur = self.current.lock().unwrap_or_else(|p| p.into_inner());
+        (cur.0, Arc::clone(&cur.1))
+    }
+}
+
+/// One model shard as handed to [`serve_sharded`]: a name, a loaded
+/// model, and optionally the path it came from (which arms SIGHUP
+/// reloads and path-less in-band reloads of the original file).
+pub struct ShardSpec {
+    /// Shard (city) name; requests route to it via their `"city"` key.
+    pub name: String,
+    /// The initial model generation (version 1).
+    pub model: M2G4Rtp,
+    /// Where `model` was loaded from, if anywhere.
+    pub path: Option<String>,
+}
+
+impl ShardSpec {
+    /// A shard with no backing file (in-process callers, tests).
+    pub fn new(name: impl Into<String>, model: M2G4Rtp) -> Self {
+        Self { name: name.into(), model, path: None }
+    }
+
+    /// A shard loaded from `path`; SIGHUP re-reads it.
+    pub fn with_path(name: impl Into<String>, model: M2G4Rtp, path: impl Into<String>) -> Self {
+        Self { name: name.into(), model, path: Some(path.into()) }
     }
 }
 
@@ -675,11 +798,12 @@ impl ServerShared {
     /// Folds one worker's tape-pool delta (summed over its per-shard
     /// lanes) into the cross-worker totals and refreshes the gauges.
     /// `last` is the worker's previous reading; `saturating_sub`
-    /// because tape poison-recovery resets a lane's stats to zero.
+    /// because tape poison-recovery (and a hot-swap lane rebuild)
+    /// resets a lane's stats to zero.
     fn refresh_pool(&self, lanes: &[ShardLane], last: &Cell<(u64, u64)>) {
         let (mut hits, mut misses) = (0u64, 0u64);
         for lane in lanes {
-            let (h, m) = lane.service.pool_stats();
+            let (h, m) = lane.service.borrow().pool_stats();
             hits += h;
             misses += m;
         }
@@ -699,8 +823,15 @@ impl ServerShared {
 /// One worker's private inference lane for one shard: its own
 /// [`RtpService`] (pooled no-grad tape) over the shard's model, plus
 /// the job channel into that shard's inference engine (batching only).
+/// The service sits behind a `RefCell` so a hot-swap can rebuild it in
+/// place; the lane is worker-thread-local, and every borrow drops
+/// before the request's reply is written (so a caught panic cannot
+/// leave a borrow flag set — guards unwind like any other local).
 struct ShardLane {
-    service: RtpService,
+    service: RefCell<RtpService>,
+    /// Model generation the service was built over; compared against
+    /// the shard's current version on every request.
+    version: Cell<u64>,
     infer_tx: Option<Sender<InferJob>>,
 }
 
@@ -711,6 +842,8 @@ struct WorkerCtx<'a> {
     lanes: Vec<ShardLane>,
     dataset: &'a Dataset,
     shared: &'a ServerShared,
+    /// Numerics tier for lane (re)builds after a hot-swap.
+    numerics: Numerics,
     /// Replies written by this worker (`serve.worker.<i>.requests`).
     replies: Arc<Counter>,
     /// Last `(hits, misses)` reading of this worker's tape pools,
@@ -732,18 +865,42 @@ impl WorkerCtx<'_> {
             .shards
             .iter()
             .zip(job_txs)
-            .map(|(shard, tx)| ShardLane {
-                service: RtpService::with_numerics(Arc::clone(&shard.model), numerics),
-                infer_tx: tx.clone(),
+            .map(|(shard, tx)| {
+                let (version, model) = shard.generation();
+                ShardLane {
+                    service: RefCell::new(RtpService::with_numerics(model, numerics)),
+                    version: Cell::new(version),
+                    infer_tx: tx.clone(),
+                }
             })
             .collect();
         WorkerCtx {
             lanes,
             dataset,
             shared,
+            numerics,
             replies: shared.registry.counter(&format!("serve.worker.{worker_id}.requests")),
             pool_last: Cell::new((0, 0)),
         }
+    }
+
+    /// Ensures this worker's lane for `shard_idx` serves the shard's
+    /// current generation, rebuilding the lane's service after a
+    /// hot-swap; returns the `(version, model)` pair the caller must
+    /// predict with (and tag the reply with). The pair is captured
+    /// atomically, so the tag always names the weights actually used —
+    /// a swap landing a microsecond later leaves this request on the
+    /// old generation, which is exactly blue-green semantics.
+    fn refresh_lane(&self, shard_idx: usize) -> (u64, Arc<M2G4Rtp>) {
+        let lane = &self.lanes[shard_idx];
+        if lane.version.get() == self.shared.shards[shard_idx].version() {
+            let model = Arc::clone(lane.service.borrow().model());
+            return (lane.version.get(), model);
+        }
+        let (version, model) = self.shared.shards[shard_idx].generation();
+        *lane.service.borrow_mut() = RtpService::with_numerics(Arc::clone(&model), self.numerics);
+        lane.version.set(version);
+        (version, model)
     }
 }
 
@@ -826,17 +983,18 @@ pub fn serve(
     opts: ServeOptions,
     out: &mut dyn Write,
 ) -> std::io::Result<i32> {
-    serve_sharded(vec![("default".to_string(), model)], dataset, opts, out)
+    serve_sharded(vec![ShardSpec::new("default", model)], dataset, opts, out)
 }
 
 /// The multi-shard entry point behind repeatable `--model`: hosts one
-/// model per `(name, model)` pair, routes request lines by their
-/// optional `"city"` key (absent ⇒ the first shard), and gives every
-/// shard its own inference engine and encoder cache. All shards share
-/// the worker pool, the connection front end and the telemetry
-/// registry.
+/// model per [`ShardSpec`], routes request lines by their optional
+/// `"city"` key (absent ⇒ the first shard), and gives every shard its
+/// own inference engine and encoder cache. All shards share the worker
+/// pool, the connection front end and the telemetry registry. When any
+/// spec carries a path, SIGHUP re-reads every path-ful shard's file
+/// through the hot-swap machinery.
 pub fn serve_sharded(
-    models: Vec<(String, M2G4Rtp)>,
+    models: Vec<ShardSpec>,
     dataset: Dataset,
     opts: ServeOptions,
     out: &mut dyn Write,
@@ -850,7 +1008,7 @@ pub fn serve_sharded(
     out.flush()?;
 
     if models.len() > 1 {
-        let names = models.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ");
+        let names = models.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(", ");
         writeln!(out, "shards: {names}")?;
         out.flush()?;
     }
@@ -870,10 +1028,8 @@ pub fn serve_sharded(
     flight::set_enabled(true);
 
     let registry = Registry::new();
-    let shards: Vec<ShardState> = models
-        .into_iter()
-        .map(|(name, model)| ShardState::new(name, Arc::new(model), &registry, opts.batching()))
-        .collect();
+    let shards: Vec<ShardState> =
+        models.into_iter().map(|spec| ShardState::new(spec, &registry, opts.batching())).collect();
     let shared = ServerShared::new(registry, addr, &opts, shards);
 
     // One job channel per shard into that shard's inference engine
@@ -893,6 +1049,10 @@ pub fn serve_sharded(
         }
     }
 
+    // Parked pipelining connections (see the worker-pool comment
+    // below); lives outside the scope so scoped workers can borrow it.
+    let overflow: Mutex<VecDeque<Arc<EvConn>>> = Mutex::new(VecDeque::new());
+    let overflow = &overflow;
     let frontend_result = std::thread::scope(|scope| {
         for (shard, rx) in shared.shards.iter().zip(job_rxs) {
             let Some(rx) = rx else { continue };
@@ -907,7 +1067,18 @@ pub fn serve_sharded(
 
         // The worker pool: one channel of WorkItems serves both front
         // ends. std's Receiver is single-consumer; workers share it
-        // behind a mutex, each holding it only for one blocking `recv`.
+        // behind a mutex, each holding it only for one bounded `recv`.
+        //
+        // Next to the channel sits the overflow queue: a pipelining
+        // connection that exhausts its drain quantum is parked here
+        // (claim and queued lines travelling with it) instead of
+        // pinning its worker. Workers serve fresh channel work first —
+        // an operator's `reload` or `stats` line must never wait tens
+        // of seconds behind a busy pipeliner — and pick parked
+        // connections back up whenever the channel goes quiet. Workers
+        // hold no clone of `tx` (that would keep the channel open and
+        // deadlock the drop-the-sender shutdown), which is exactly why
+        // the park space is a plain deque and not the channel itself.
         let (tx, rx) = channel::<WorkItem>();
         let rx = Arc::new(Mutex::new(rx));
         for worker_id in 0..workers {
@@ -921,29 +1092,106 @@ pub fn serve_sharded(
             let worker_job_txs: Vec<Option<Sender<InferJob>>> = job_txs.to_vec();
             scope.spawn(move || {
                 let ctx = WorkerCtx::new(worker_id, dataset, shared, numerics, &worker_job_txs);
-                loop {
-                    // Blocks until work arrives or the front end drops
-                    // the sender (shutdown + queue drained).
-                    let next = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => break,
-                    };
-                    match next {
-                        Ok(WorkItem::Conn(stream, trace)) => {
-                            shared.conn_started();
-                            let result = handle_connection(&ctx, stream, trace);
-                            shared.conn_finished();
-                            if result.is_err() {
-                                shared.metrics.conn_errors.inc();
-                            }
+                enum Next {
+                    Item(WorkItem),
+                    Empty,
+                    Closed,
+                }
+                let recv_next = |blocking: bool| match rx.lock() {
+                    Ok(guard) if blocking => match guard.recv_timeout(POLL_INTERVAL) {
+                        Ok(item) => Next::Item(item),
+                        Err(RecvTimeoutError::Timeout) => Next::Empty,
+                        Err(RecvTimeoutError::Disconnected) => Next::Closed,
+                    },
+                    Ok(guard) => match guard.try_recv() {
+                        Ok(item) => Next::Item(item),
+                        Err(TryRecvError::Empty) => Next::Empty,
+                        Err(TryRecvError::Disconnected) => Next::Closed,
+                    },
+                    Err(_) => Next::Closed,
+                };
+                let run_item = |item: WorkItem| match item {
+                    WorkItem::Conn(stream, trace) => {
+                        shared.conn_started();
+                        let result = handle_connection(&ctx, stream, trace);
+                        shared.conn_finished();
+                        if result.is_err() {
+                            shared.metrics.conn_errors.inc();
                         }
-                        Ok(WorkItem::Ev(conn)) => drain_evented_conn(&ctx, &conn),
-                        Err(_) => break,
                     }
+                    WorkItem::Ev(conn) => drain_evented_conn(&ctx, &conn, overflow),
+                };
+                let next_parked = || overflow.lock().unwrap_or_else(|p| p.into_inner()).pop_front();
+                loop {
+                    // Fresh channel work first: new connections and
+                    // operator lines take priority over parked
+                    // pipeliners (whose clients already have a full
+                    // quantum of replies to chew on).
+                    match recv_next(false) {
+                        Next::Item(item) => {
+                            run_item(item);
+                            continue;
+                        }
+                        Next::Closed => break,
+                        Next::Empty => {}
+                    }
+                    // Channel quiet: give a parked connection its turn.
+                    if let Some(conn) = next_parked() {
+                        drain_evented_conn(&ctx, &conn, overflow);
+                        continue;
+                    }
+                    // Idle: block until work arrives or the front end
+                    // drops the sender (shutdown + queue drained). The
+                    // timeout only re-checks the overflow queue, in
+                    // case another worker parked a connection mid-wait.
+                    match recv_next(true) {
+                        Next::Item(item) => run_item(item),
+                        Next::Closed => break,
+                        Next::Empty => {}
+                    }
+                }
+                // Channel closed: serve out parked connections before
+                // exiting — their claims travelled here, so no other
+                // dispatch path will ever pick them up.
+                while let Some(conn) = next_parked() {
+                    drain_evented_conn(&ctx, &conn, overflow);
                 }
             });
         }
         drop(job_txs);
+
+        // SIGHUP watcher: only armed when some shard knows its backing
+        // file. The signal handler itself just bumps a counter; this
+        // thread notices the bump and re-reads every path-ful shard
+        // through the same swap path as the in-band `reload` verb.
+        // Path-less servers (tests, in-process callers) never install
+        // the handler, so SIGHUP keeps its default disposition there.
+        if shared.shards.iter().any(|s| s.path.is_some()) {
+            evented::install_sighup_handler();
+            let shared = &shared;
+            scope.spawn(move || {
+                let mut seen = evented::sighup_count();
+                while !shared.shutting_down() {
+                    std::thread::sleep(POLL_INTERVAL);
+                    let now = evented::sighup_count();
+                    if now == seen {
+                        continue;
+                    }
+                    seen = now;
+                    for idx in 0..shared.shards.len() {
+                        let shard = &shared.shards[idx];
+                        let Some(path) = shard.path.clone() else { continue };
+                        match reload_shard(shared, idx, &path, 0) {
+                            Ok(version) => eprintln!(
+                                "SIGHUP: shard {} reloaded from {path} (model_version {version})",
+                                shard.name
+                            ),
+                            Err(e) => eprintln!("SIGHUP: shard {} reload failed: {e}", shard.name),
+                        }
+                    }
+                }
+            });
+        }
 
         // Periodic Prometheus snapshot writer (--metrics-file). Sleeps
         // in POLL_INTERVAL slices so shutdown is honoured promptly; the
@@ -1081,17 +1329,97 @@ fn write_metrics_file(path: &str, shared: &ServerShared) {
     }
 }
 
+/// Hot-swaps one shard's model from a SavedModel file: load and parse
+/// off the hot path, validate against the running generation with the
+/// loud-rejection policy ([`SavedModel::validate_swap`]), then swap the
+/// `(version, Arc)` pair and drain the shard's encoder cache so no
+/// post-swap reply can replay pre-swap activations. Returns the new
+/// version; on any error the running model is untouched and
+/// `serve.reload.failures` counts the attempt.
+fn reload_shard(
+    shared: &ServerShared,
+    shard_idx: usize,
+    path: &str,
+    trace_id: u64,
+) -> Result<u64, String> {
+    let shard = &shared.shards[shard_idx];
+    let t0 = Instant::now();
+    let loaded = (|| {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reload rejected: cannot read model file `{path}`: {e}"))?;
+        let saved: SavedModel = serde_json::from_str(&text)
+            .map_err(|e| format!("reload rejected: `{path}` is not a SavedModel: {e}"))?;
+        // Validate against the running generation *before* the
+        // panicking weight restore in from_saved can run.
+        let (_, current) = shard.generation();
+        saved
+            .validate_swap(&current)
+            .map_err(|e| format!("reload rejected for shard `{}`: {e}", shard.name))?;
+        Ok::<Arc<M2G4Rtp>, String>(Arc::new(M2G4Rtp::from_saved(saved)))
+    })();
+    let model = match loaded {
+        Ok(model) => model,
+        Err(e) => {
+            shared.metrics.reload_failures.inc();
+            flight::record(flight::Kind::Reload, "serve.reload", trace_id, || {
+                format!("shard {} reload failed: {e}", shard.name)
+            });
+            return Err(e);
+        }
+    };
+    // The swap: version mirror updated inside the critical section so
+    // a hot-path staleness check can never observe a version ahead of
+    // the model it describes.
+    let version = {
+        let mut cur = shard.current.lock().unwrap_or_else(|p| p.into_inner());
+        let version = cur.0 + 1;
+        *cur = (version, model);
+        shard.version.store(version, Ordering::SeqCst);
+        version
+    };
+    // Drain the shard's encoder cache *after* the version advanced:
+    // entries are version-keyed, so anything a racing miss re-inserts
+    // under the old version is refused at insert time, and lookups
+    // under the new version miss stale entries regardless.
+    if let Some(cache) = &shard.cache {
+        let mut cache = cache.lock().unwrap_or_else(|p| p.into_inner());
+        let stale = cache.len() as u64;
+        cache.clear();
+        drop(cache);
+        if stale > 0 {
+            shared.metrics.cache_invalidations.add(stale);
+            shared.refresh_cache_rate();
+        }
+    }
+    let took_us = t0.elapsed().as_micros() as u64;
+    shared.metrics.reload_count.inc();
+    shared.metrics.reload_duration_us.record(took_us);
+    flight::record(flight::Kind::Reload, "serve.reload", trace_id, || {
+        format!(
+            "shard {} swapped to model_version {version} from {path} in {took_us} us",
+            shard.name
+        )
+    });
+    Ok(version)
+}
+
 /// One shard's inference engine: collects [`InferJob`]s into
 /// micro-batches and runs one batched forward per batch on its own
-/// pooled no-grad tape over that shard's model. With multiple shards,
-/// one engine thread runs per shard — batches never mix models.
+/// pooled no-grad tape over the batch's model generation. With
+/// multiple shards, one engine thread runs per shard — batches never
+/// mix models, and after a hot-swap batches never mix *generations*
+/// either: a job carrying a different version than the forming batch
+/// closes the batch and leads the next one, each batch runs on the
+/// exact `Arc` its jobs captured, and the engine's tape is rebuilt per
+/// generation.
 ///
 /// Batch formation: block for the first job, then keep accepting jobs
-/// until `batch_max` are queued or `window` has elapsed since the first
-/// job arrived. A panic inside the batch forward is caught — the tape
-/// is replaced (its pool state is arbitrary mid-panic) and the batch's
-/// reply senders are dropped, so each waiting worker answers an
-/// internal-error line for its own request; the engine keeps serving.
+/// until `batch_max` are queued, `window` has elapsed since the first
+/// job arrived, or a job of another generation shows up. A panic
+/// inside the batch forward is caught — the tape is dropped (its pool
+/// state is arbitrary mid-panic) and the batch's reply senders are
+/// dropped, so each waiting worker answers an internal-error line for
+/// its own request; the engine keeps serving.
 ///
 /// Exits when every worker's job sender for this shard is gone.
 fn run_inference_engine(
@@ -1102,9 +1430,20 @@ fn run_inference_engine(
     numerics: Numerics,
     shared: &ServerShared,
 ) {
-    let model = &*shard.model;
-    let mut tape = model.inference_tape(numerics);
-    while let Ok(first) = jobs.recv() {
+    // The engine's tape, tagged with the generation it was built for;
+    // `None` after a caught panic or before the first batch.
+    let mut tape: Option<(u64, rtp_tensor::Tape)> = None;
+    // A job that arrived mid-batch but belongs to a newer generation:
+    // it leads the next batch instead of joining this one.
+    let mut carried: Option<InferJob> = None;
+    loop {
+        let first = match carried.take() {
+            Some(job) => job,
+            None => match jobs.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
         // Per-job dequeue times: job i's queue_wait ends (and its
         // batch_form begins) the moment the engine receives it.
         let mut recvs = vec![Instant::now()];
@@ -1117,6 +1456,10 @@ fn run_inference_engine(
             }
             match jobs.recv_timeout(deadline - now) {
                 Ok(job) => {
+                    if job.version != batch[0].version {
+                        carried = Some(job);
+                        break;
+                    }
                     batch.push(job);
                     recvs.push(Instant::now());
                 }
@@ -1125,16 +1468,24 @@ fn run_inference_engine(
         }
         shared.metrics.batch_size.record(batch.len() as u64);
         let flushed = Instant::now();
+        let model = Arc::clone(&batch[0].model);
+        let version = batch[0].version;
+        let mut run_tape = match tape.take() {
+            Some((v, t)) if v == version => t,
+            _ => model.inference_tape(numerics),
+        };
         let graphs: Vec<&MultiLevelGraph> = batch.iter().map(|j| &j.graph).collect();
-        let result =
-            catch_unwind(AssertUnwindSafe(|| model.predict_batch_encoded_into(&mut tape, &graphs)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model.predict_batch_encoded_into(&mut run_tape, &graphs)
+        }));
         drop(graphs);
         let finished = Instant::now();
         let forward_us = finished.saturating_duration_since(flushed).as_micros() as u64;
         match result {
             Ok(preds) => {
+                tape = Some((version, run_tape));
                 for ((job, recv), (pred, enc)) in batch.into_iter().zip(recvs).zip(preds) {
-                    let InferJob { graph, trace_id: _, enqueued, reply } = job;
+                    let InferJob { graph, enqueued, reply, .. } = job;
                     // A send error only means the worker gave up on the
                     // connection; nothing to do.
                     let _ = reply.send(EngineReply {
@@ -1157,10 +1508,12 @@ fn run_inference_engine(
                     });
                 }
                 shared.dump_flight();
-                tape = model.inference_tape(numerics);
-                // Dropping `batch` drops every reply sender; each
-                // waiting worker sees RecvError and answers an error
-                // line for its own request only.
+                // The panicked tape's pool state is arbitrary: drop it
+                // and rebuild lazily for the next batch. Dropping
+                // `batch` drops every reply sender; each waiting worker
+                // sees RecvError and answers an error line for its own
+                // request only.
+                drop(run_tape);
             }
         }
     }
@@ -1305,13 +1658,28 @@ fn next_trace_id(shared: &ServerShared, trace: &mut TraceCtx) -> u64 {
     id
 }
 
+/// Lines served per claim before a still-busy connection is parked on
+/// the overflow queue. A closed-loop pipelining client can land its
+/// next line faster than the worker's post-reply `pop_line`, so an
+/// unbounded drain pins the worker to one connection for as long as
+/// the client keeps winning that race — with a small pool every other
+/// queued connection starves, most visibly an operator's `reload`
+/// line (observed waiting ~20 s behind four busy bench clients).
+const DRAIN_QUANTUM: usize = 8;
+
 /// Drains one evented connection's queued request lines under its
 /// claim (the reactor dispatched it because its queue went non-empty;
 /// no other worker touches it until the claim is released by the final
-/// `pop_line`). Replies are written directly to the shared nonblocking
+/// `pop_line` or kept through [`EvConn::yield_claim`] at the end of a
+/// quantum). Replies are written directly to the shared nonblocking
 /// socket; a close is signalled back to the reactor via the dead flag
-/// + socket shutdown, never by dropping the fd out from under it.
-fn drain_evented_conn(ctx: &WorkerCtx<'_>, conn: &EvConn) {
+/// plus socket shutdown, never by dropping the fd out from under it.
+fn drain_evented_conn(
+    ctx: &WorkerCtx<'_>,
+    conn: &Arc<EvConn>,
+    overflow: &Mutex<VecDeque<Arc<EvConn>>>,
+) {
+    let mut served = 0usize;
     while let Some(line) = conn.pop_line() {
         let line = line.trim();
         if line.is_empty() {
@@ -1372,6 +1740,15 @@ fn drain_evented_conn(ctx: &WorkerCtx<'_>, conn: &EvConn) {
                 conn.close();
                 return;
             }
+        }
+        served += 1;
+        if served == DRAIN_QUANTUM {
+            if conn.yield_claim() {
+                // Still busy: park it (the claim and any queued lines
+                // travel with the connection) and take other work first.
+                overflow.lock().unwrap_or_else(|p| p.into_inner()).push_back(Arc::clone(conn));
+            }
+            return;
         }
     }
 }
@@ -1456,6 +1833,44 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
                 body.push_str("]}");
                 Reply::Line(body, None)
             }
+            Some("reload") => {
+                let Some(path) = value.get("model").and_then(|v| v.as_str()) else {
+                    return err_line(
+                        "reload needs a `model` key naming a SavedModel path".to_string(),
+                    );
+                };
+                let shard_idx = match value.get("shard") {
+                    None => 0,
+                    Some(serde::Value::Str(name)) => {
+                        match shared.shards.iter().position(|s| s.name == *name) {
+                            Some(i) => i,
+                            None => {
+                                return err_line(format!(
+                                    "unknown shard `{name}`: this server hosts {}",
+                                    shared.shard_names()
+                                ))
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        return err_line("bad request: `shard` must be a string shard name".into())
+                    }
+                };
+                match reload_shard(shared, shard_idx, path, trace_id) {
+                    Ok(version) => {
+                        // A reload ack is an operator reply, like stats.
+                        metrics.stats.inc();
+                        Reply::Line(
+                            format!(
+                                "{{\"reloaded\":\"{}\",\"model_version\":{version}}}",
+                                shared.shards[shard_idx].name
+                            ),
+                            None,
+                        )
+                    }
+                    Err(e) => err_line(e),
+                }
+            }
             Some("shutdown") if shared.allow_shutdown => {
                 metrics.stats.inc();
                 Reply::ShutdownAck(
@@ -1514,7 +1929,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
                     ctx.dataset.couriers.len()
                 ));
             };
-            let (prediction, mut stages) =
+            let (prediction, mut stages, model_version) =
                 match predict_query(ctx, shard_idx, line, courier, &query, trace_id) {
                     Ok(p) => p,
                     Err(e) => return shard_err(e),
@@ -1546,7 +1961,7 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             metrics.requests.inc();
             shard.requests.inc();
             metrics.record_stages(&stages);
-            let numerics = ctx.lanes[shard_idx].service.numerics();
+            let numerics = ctx.lanes[shard_idx].service.borrow().numerics();
             match numerics {
                 Numerics::Exact => metrics.req_exact.inc(),
                 Numerics::Fast => metrics.req_fast.inc(),
@@ -1577,19 +1992,24 @@ fn handle_line(ctx: &WorkerCtx<'_>, line: &str, trace_id: u64) -> Reply {
             } else {
                 String::new()
             };
-            // Splice latency into the serialized body ({"a":.. ->
-            // {"latency_ms":X,"a":..): field order is free in JSON.
+            // Splice latency and the serving model version into the
+            // serialized body ({"a":.. -> {"latency_ms":X,
+            // "model_version":V,"a":..): field order is free in JSON.
             // Non-default numerics tiers also tag the reply so a client
-            // can tell approximate answers apart; the default tier
-            // keeps the exact reply shape of earlier versions.
+            // can tell approximate answers apart.
             match numerics {
                 Numerics::Exact => Reply::Line(
-                    format!("{{\"latency_ms\":{latency_ms}{trace_tag},{}", &body[1..]),
+                    format!(
+                        "{{\"latency_ms\":{latency_ms},\"model_version\":{model_version}\
+                         {trace_tag},{}",
+                        &body[1..]
+                    ),
                     Some(ser_us),
                 ),
                 tier => Reply::Line(
                     format!(
-                        "{{\"latency_ms\":{latency_ms},\"numerics\":\"{tier}\"{trace_tag},{}",
+                        "{{\"latency_ms\":{latency_ms},\"model_version\":{model_version},\
+                         \"numerics\":\"{tier}\"{trace_tag},{}",
                         &body[1..]
                     ),
                     Some(ser_us),
@@ -1628,38 +2048,53 @@ fn predict_query(
     courier: &rtp_sim::Courier,
     query: &RtpQuery,
     trace_id: u64,
-) -> Result<(Prediction, StageBreakdown), String> {
+) -> Result<(Prediction, StageBreakdown, u64), String> {
     let shared = ctx.shared;
     let metrics = &shared.metrics;
+    // Rebuild this worker's lane first if a hot-swap advanced the
+    // shard; `version`/`model` are the generation every byte of this
+    // reply is computed from (and tagged with).
+    let (version, model) = ctx.refresh_lane(shard_idx);
     let lane = &ctx.lanes[shard_idx];
     let mut stages = StageBreakdown::default();
     let Some(infer_tx) = &lane.infer_tx else {
-        let graph = lane.service.build_graph(&ctx.dataset.city, courier, query);
+        let service = lane.service.borrow();
+        let graph = service.build_graph(&ctx.dataset.city, courier, query);
         let t0 = Instant::now();
-        let prediction = lane.service.predict(&graph);
+        let prediction = service.predict(&graph);
         stages.forward_us = t0.elapsed().as_micros() as u64;
-        return Ok((prediction, stages));
+        return Ok((prediction, stages, version));
     };
+    // A cache entry is valid only when both the request line *and* the
+    // model generation match: a byte-identical line after a swap must
+    // miss, or the reply would replay swapped-out encoder activations.
     let cached = shared
         .lock_cache(shard_idx)
         .expect("batching implies a cache")
         .get(&query.courier_id)
-        .filter(|e| e.fingerprint == line)
+        .filter(|e| e.fingerprint == line && e.version == version)
         .cloned();
     if let Some(entry) = cached {
         metrics.cache_hits.inc();
         shared.refresh_cache_rate();
         let t0 = Instant::now();
-        let prediction = lane.service.predict_encoded(&entry.graph, &entry.enc);
+        let prediction = lane.service.borrow().predict_encoded(&entry.graph, &entry.enc);
         stages.forward_us = t0.elapsed().as_micros() as u64;
-        return Ok((prediction, stages));
+        return Ok((prediction, stages, version));
     }
     metrics.cache_misses.inc();
     shared.refresh_cache_rate();
-    let graph = lane.service.build_graph(&ctx.dataset.city, courier, query);
+    let graph = lane.service.borrow().build_graph(&ctx.dataset.city, courier, query);
     let (reply_tx, reply_rx) = channel();
     infer_tx
-        .send(InferJob { graph, trace_id, enqueued: Instant::now(), reply: reply_tx })
+        .send(InferJob {
+            graph,
+            version,
+            model,
+            trace_id,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        })
         .map_err(|_| "internal error: inference engine unavailable".to_string())?;
     let engine_reply = reply_rx
         .recv()
@@ -1670,16 +2105,22 @@ fn predict_query(
     stages.batch_form_us = batch_form_us;
     stages.forward_us = forward_us;
     stages.demux_us = finished.elapsed().as_micros() as u64;
-    let entry = Arc::new(CacheEntry { fingerprint: line.to_string(), graph, enc });
-    let mut cache = shared.lock_cache(shard_idx).expect("batching implies a cache");
-    if let Some(old) = cache.insert(query.courier_id, entry) {
-        // Same-fingerprint replacement is a concurrent-miss race, not
-        // a route-state change.
-        if old.fingerprint != line {
-            metrics.cache_invalidations.inc();
+    // Install the activations — unless a swap advanced the shard while
+    // this request was in flight, in which case they are already stale
+    // and must not land (a later lookup filters on version anyway, but
+    // refusing the insert keeps the cache free of dead weight).
+    if shared.shards[shard_idx].version() == version {
+        let entry = Arc::new(CacheEntry { fingerprint: line.to_string(), version, graph, enc });
+        let mut cache = shared.lock_cache(shard_idx).expect("batching implies a cache");
+        if let Some(old) = cache.insert(query.courier_id, entry) {
+            // Same-fingerprint same-version replacement is a
+            // concurrent-miss race, not a route-state change.
+            if old.fingerprint != line || old.version != version {
+                metrics.cache_invalidations.inc();
+            }
         }
     }
-    Ok((prediction, stages))
+    Ok((prediction, stages, version))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use m2g4rtp::{M2G4Rtp, ModelConfig, TrainConfig, Trainer};
-use rtp_cli::serve::{serve, serve_sharded, ServeOptions};
+use rtp_cli::serve::{serve, serve_sharded, ServeOptions, ShardSpec};
 use rtp_sim::{Dataset, DatasetBuilder, DatasetConfig};
 
 /// A tiny trained model + its dataset (1 epoch; serving latency and
@@ -92,11 +92,22 @@ pub fn start_sharded_server(
     dataset: Dataset,
     opts: ServeOptions,
 ) -> ServerHandle {
+    let specs = models.into_iter().map(|(name, model)| ShardSpec::new(name, model)).collect();
+    start_spec_server(specs, dataset, opts)
+}
+
+/// Spawns `serve_sharded` from full [`ShardSpec`]s (path-ful shards arm
+/// SIGHUP reloads) on an ephemeral port and waits for its address.
+pub fn start_spec_server(
+    specs: Vec<ShardSpec>,
+    dataset: Dataset,
+    opts: ServeOptions,
+) -> ServerHandle {
     let (addr_tx, addr_rx) = channel::<String>();
     let (out_tx, out_rx) = channel::<String>();
     let join = std::thread::spawn(move || {
         let mut sink = AddrSink(addr_tx, out_tx, Vec::new());
-        serve_sharded(models, dataset, opts, &mut sink).expect("server runs");
+        serve_sharded(specs, dataset, opts, &mut sink).expect("server runs");
     });
     let addr = addr_rx.recv_timeout(Duration::from_secs(60)).expect("server address");
     ServerHandle { addr, out_rx, join }
@@ -206,6 +217,30 @@ pub fn strip_latency(reply: &str) -> String {
         }
     }
     body.to_string()
+}
+
+/// Strips the spliced `"model_version":N,` field (and nothing else),
+/// so replies computed before and after an identity hot-swap — same
+/// weights, different version tag — can be compared byte-for-byte.
+/// Composes with [`strip_latency`]: strip latency first.
+pub fn strip_version(reply: &str) -> String {
+    let body = reply.trim();
+    let key = "\"model_version\":";
+    let Some(start) = body.find(key) else {
+        return body.to_string();
+    };
+    let rest = &body[start + key.len()..];
+    let end = rest.find(',').map(|c| c + 1).unwrap_or(rest.len());
+    format!("{}{}", &body[..start], &rest[end..])
+}
+
+/// The `model_version` tag carried by a reply.
+pub fn reply_version(reply: &str) -> u64 {
+    let v: serde::Value = serde_json::from_str(reply.trim()).expect("reply parses");
+    match v.get("model_version") {
+        Some(serde::Value::Num(n)) => n.as_u64().expect("model_version is a u64"),
+        other => panic!("missing model_version in {reply}: {other:?}"),
+    }
 }
 
 /// The k-th test query as a request line with `"trace": true` spliced

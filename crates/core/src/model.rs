@@ -804,6 +804,72 @@ pub struct SavedModel {
     pub scaler: Option<FeatureScaler>,
 }
 
+impl SavedModel {
+    /// Checks that this snapshot can replace `current` in place — a
+    /// hot-swap precondition with the same loud-rejection policy as
+    /// checkpoint `--resume` ([`crate::checkpoint::CheckpointError`]):
+    /// a swap that cannot be proven compatible is refused with a named
+    /// reason, never guessed at and never allowed to reach the
+    /// panicking weight restore in [`M2G4Rtp::from_saved`].
+    ///
+    /// Compatible means: every architecture field of [`ModelConfig`]
+    /// matches the running model (graph dims, feature widths, vocab
+    /// sizes, variant), the snapshot carries a feature pipeline (a
+    /// server cannot build graphs without one), and the weight layout
+    /// matches the running parameter store tensor by tensor.
+    pub fn validate_swap(&self, current: &M2G4Rtp) -> Result<(), String> {
+        let have = current.config();
+        let want = &self.config;
+        let fields: [(&str, usize, usize); 9] = [
+            ("d_loc", want.d_loc, have.d_loc),
+            ("d_aoi", want.d_aoi, have.d_aoi),
+            ("d_disc", want.d_disc, have.d_disc),
+            ("d_courier", want.d_courier, have.d_courier),
+            ("d_pos", want.d_pos, have.d_pos),
+            ("n_heads", want.n_heads, have.n_heads),
+            ("n_layers", want.n_layers, have.n_layers),
+            ("aoi_vocab", want.aoi_vocab, have.aoi_vocab),
+            ("courier_vocab", want.courier_vocab, have.courier_vocab),
+        ];
+        for (name, new, running) in fields {
+            if new != running {
+                return Err(format!(
+                    "model config field `{name}` differs: running model has {running}, \
+                     new model has {new}"
+                ));
+            }
+        }
+        if want.variant != have.variant {
+            return Err(format!(
+                "model variant differs: running model is {}, new model is {}",
+                have.variant.label(),
+                want.variant.label()
+            ));
+        }
+        if self.graph_config.is_none() || self.scaler.is_none() {
+            return Err("new model has no feature pipeline (graph config + scaler)".into());
+        }
+        if self.weights.len() != current.store.len() {
+            return Err(format!(
+                "new model holds {} weight tensors but the running model has {}",
+                self.weights.len(),
+                current.store.len()
+            ));
+        }
+        for id in current.store.iter_ids() {
+            let (new, running) = (self.weights[id.index()].len(), current.store.data(id).len());
+            if new != running {
+                return Err(format!(
+                    "weight tensor `{}` has {new} scalars in the new model but {running} in \
+                     the running one",
+                    current.store.name(id)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl M2G4Rtp {
     /// Snapshots the trained model for persistence (serialise the
     /// result with serde).

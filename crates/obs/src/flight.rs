@@ -38,6 +38,8 @@ pub enum Kind {
     Request,
     /// Recovery from a poisoned lock.
     Recovery,
+    /// A model hot-swap (a serve-side reload or an online-loop push).
+    Reload,
 }
 
 impl Kind {
@@ -50,6 +52,7 @@ impl Kind {
             Kind::Epoch => "epoch",
             Kind::Request => "request",
             Kind::Recovery => "recovery",
+            Kind::Reload => "reload",
         }
     }
 }

@@ -247,16 +247,38 @@ impl Tape {
     /// Forgets all nodes but keeps every buffer in the free-list pool,
     /// so the next forward pass on this tape reuses their allocations.
     /// Reusing a cleared tape is bit-identical to using a fresh one.
+    ///
+    /// The pool is capped at the pass that just finished: one pass can
+    /// consume at most as many pooled buffers as it records, but it may
+    /// *record* more than it consumed — ops fed caller-built vectors
+    /// ([`Tape::constant`] and friends) push buffers that never came
+    /// from the pool. Without the cap those extras pile up as dead
+    /// weight behind the LIFO's working end — roughly one buffer set
+    /// per forward pass, which on a long-lived serving tape grew
+    /// resident memory by hundreds of kilobytes *per request* until a
+    /// model swap happened to rebuild the tape. The oldest (coldest)
+    /// buffers are dropped first; the warm tail keeps its capacities.
     pub fn clear(&mut self) {
         self.nodes.clear();
+        let used = self.bufs.len() + self.grads.len();
         self.pool.append(&mut self.bufs);
         self.pool.append(&mut self.grads);
+        if self.pool.len() > used {
+            self.pool.drain(..self.pool.len() - used);
+        }
     }
 
     /// `(pool hits, pool misses)` — buffer requests served from the
     /// free list vs. fresh heap allocations, over the tape's lifetime.
     pub fn pool_stats(&self) -> (u64, u64) {
         (self.pool_hits, self.pool_misses)
+    }
+
+    /// Number of buffers currently parked in the free-list pool.
+    /// Bounded by the last pass's buffer count (see [`Tape::clear`]);
+    /// a steadily growing value here is a leak.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
     }
 
     /// Pops a recycled buffer from the pool (cleared, capacity kept)
@@ -1588,6 +1610,50 @@ mod tests {
         let (hits_after, misses_after) = reused.pool_stats();
         assert!(hits_after > 0, "cleared tape must serve buffers from the pool");
         assert_eq!(misses_before, misses_after, "steady-state rerun must not hit the allocator");
+    }
+
+    /// Regression: passes that feed the tape caller-built vectors
+    /// (`constant`) push buffers the pool never handed out. The pool
+    /// must not accumulate those across `clear()` cycles — unbounded
+    /// growth here was a per-request memory leak on long-lived serving
+    /// tapes (only a model hot-swap's tape rebuild ever freed it).
+    #[test]
+    fn pool_stays_bounded_across_passes_with_constant_inputs() {
+        let mut store = ParamStore::new(11);
+        let w = store.add_xavier("w", 6, 6);
+        let mut t = Tape::inference();
+        let mut high_water = 0usize;
+        for pass in 0..50 {
+            t.clear();
+            // Two caller-built buffers per pass, plus pooled op outputs.
+            let x = t.constant(4, 6, vec![0.25; 24]);
+            let y = t.constant(4, 6, vec![1.75; 24]);
+            let wp = t.param(&store, w);
+            let h = t.matmul(x, wp);
+            let s = t.add(h, y);
+            let l = t.mean_all(s);
+            assert!(t.scalar(l).is_finite());
+            if pass == 1 {
+                // Bound set by one full pass: nodes + their buffers.
+                t.clear();
+                high_water = t.pool_len();
+            } else if pass > 1 {
+                assert!(
+                    t.pool_len() <= high_water,
+                    "pool grew past one pass's worth of buffers: {} > {high_water} (pass {pass})",
+                    t.pool_len(),
+                );
+            }
+        }
+        // Pooling still works: a warmed steady state stops allocating.
+        let misses_before = t.pool_stats().1;
+        t.clear();
+        let x = t.constant(4, 6, vec![0.5; 24]);
+        let wp = t.param(&store, w);
+        let h = t.matmul(x, wp);
+        let l = t.mean_all(h);
+        assert!(t.scalar(l).is_finite());
+        assert_eq!(t.pool_stats().1, misses_before, "warmed pool must still serve allocations");
     }
 
     #[test]
